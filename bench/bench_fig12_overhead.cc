@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 12: Mobius's extra overheads — profiling (simulated wall
+ * time with layer similarity), MIP solving (real wall time of our
+ * search) and cross-mapping search (real wall time) — for 8B/15B/51B
+ * on Topo 1+3.
+ *
+ * Expected shape: all overheads are seconds, negligible against
+ * hours-to-days of fine-tuning; 8B and 15B profile in similar time
+ * thanks to layer similarity; smaller hidden sizes cost more MIP
+ * solving (larger search space).
+ */
+
+#include "bench_util.hh"
+
+using namespace mobius;
+
+int
+main()
+{
+    bench::section("Figure 12: planning overhead");
+    Server server = makeCommodityServer({1, 3});
+    std::printf("%-10s %14s %14s %16s %10s\n", "model",
+                "profiling", "MIP solving", "cross mapping",
+                "stages");
+    for (const auto &cfg : {gpt8b(), gpt15b(), gpt51b()}) {
+        Workload work(cfg, server);
+        MobiusPlan plan = planMobius(server, work.cost());
+        std::printf("%-10s %13.2fs %13.4fs %15.4fs %10d\n",
+                    cfg.name.c_str(), plan.profilingSeconds,
+                    plan.solveSeconds, plan.mappingSeconds,
+                    plan.stageCount());
+    }
+
+    std::printf("\nlayer-similarity ablation (profiling time):\n");
+    std::printf("%-10s %18s %18s\n", "model", "with similarity",
+                "without");
+    for (const auto &cfg : {gpt8b(), gpt15b(), gpt51b()}) {
+        Workload work(cfg, server);
+        ProfilerConfig with;
+        ProfilerConfig without;
+        without.useLayerSimilarity = false;
+        auto a = profileModel(work.cost(), with);
+        auto b = profileModel(work.cost(), without);
+        std::printf("%-10s %17.2fs %17.2fs\n", cfg.name.c_str(),
+                    a.profilingTime, b.profilingTime);
+    }
+    return 0;
+}

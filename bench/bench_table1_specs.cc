@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1: performance and price comparison of a 3090-Ti GPU and an
+ * A100 GPU.
+ */
+
+#include "bench_util.hh"
+#include "hw/gpu_spec.hh"
+
+using namespace mobius;
+
+int
+main()
+{
+    bench::section("Table 1: 3090-Ti vs A100");
+    const GpuSpec &c = rtx3090Ti();
+    const GpuSpec &d = a100();
+    std::printf("%-28s %14s %14s\n", "", c.name.c_str(),
+                d.name.c_str());
+    std::printf("%-28s %13.0f$ %13.0f$\n", "Price", c.priceUsd,
+                d.priceUsd);
+    std::printf("%-28s %8.0f TFlops %8.0f TFlops\n",
+                "FP32 Performance", c.fp32Flops / TFLOPS,
+                d.fp32Flops / TFLOPS);
+    std::printf("%-28s %14d %14d\n", "Tensor Cores", c.tensorCores,
+                d.tensorCores);
+    std::printf("%-28s %14s %14s\n", "GPUDirect P2P",
+                c.gpudirectP2p ? "support" : "not support",
+                d.gpudirectP2p ? "support" : "not support");
+    std::printf("%-28s %14s %14s\n", "High-bandwidth Connectivity",
+                c.nvlink ? "support" : "not support",
+                d.nvlink ? "support" : "not support");
+    std::printf("\nPrice ratio: %.1fx\n", d.priceUsd / c.priceUsd);
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/: one binary
+ * per paper table/figure, each printing the rows/series the paper
+ * reports (see EXPERIMENTS.md for the mapping and expected shapes).
+ */
+
+#ifndef MOBIUS_BENCH_BENCH_UTIL_HH
+#define MOBIUS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/api.hh"
+
+namespace mobius::bench
+{
+
+/** Print a figure/table banner. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title.c_str());
+}
+
+/** One experiment cell: a system run on a workload. */
+struct RunResult
+{
+    StepStats stats;
+    bool oom = false;
+    std::string oomReason;
+};
+
+/** Run Mobius end to end (plan + execute). */
+inline RunResult
+runMobius(const GptConfig &cfg, const Server &server,
+          int microbatch = -1, int num_microbatches = -1,
+          PlanOptions opts = {})
+{
+    Workload work(cfg, server, microbatch, num_microbatches);
+    MobiusPlan plan = planMobius(server, work.cost(), opts);
+    return RunResult{runMobiusStep(server, work.cost(), plan),
+                     false, ""};
+}
+
+/** Run the DeepSpeed (ZeRO-3 + heterogeneous memory) baseline. */
+inline RunResult
+runDeepSpeed(const GptConfig &cfg, const Server &server,
+             int microbatch = -1, int num_microbatches = -1)
+{
+    Workload work(cfg, server, microbatch, num_microbatches);
+    return RunResult{runZeroStep(server, work.cost()), false, ""};
+}
+
+/** Run GPipe / DeepSpeed-pipeline; OOM becomes a marked result. */
+inline RunResult
+runPipeline(const GptConfig &cfg, const Server &server,
+            PipelineSchedule schedule, int microbatch = -1,
+            int num_microbatches = -1)
+{
+    Workload work(cfg, server, microbatch, num_microbatches);
+    try {
+        return RunResult{
+            runPipelineStep(server, work.cost(), schedule), false,
+            ""};
+    } catch (const FatalError &e) {
+        return RunResult{{}, true, e.what()};
+    }
+}
+
+/** "1.23 s" or "OOM". */
+inline std::string
+cell(const RunResult &r)
+{
+    if (r.oom)
+        return "OOM";
+    return strfmt("%7.2f s", r.stats.stepTime);
+}
+
+/** Print a byte-weighted bandwidth CDF as (GB/s, fraction) rows. */
+inline void
+printCdf(const std::string &label,
+         const std::vector<BandwidthSample> &samples)
+{
+    BandwidthCdf cdf(samples);
+    std::printf("  %-28s", (label + ":").c_str());
+    if (cdf.empty()) {
+        std::printf(" (no samples)\n");
+        return;
+    }
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        std::printf("  p%-2.0f=%5.1f GB/s", q * 100,
+                    cdf.quantile(q) / 1e9);
+    }
+    std::printf("  max=%5.1f GB/s\n", cdf.maxBandwidth() / 1e9);
+}
+
+/** Samples that crossed the host (exclude pure-NVLink flows). */
+inline std::vector<BandwidthSample>
+hostSamples(const StepStats &stats)
+{
+    std::vector<BandwidthSample> out;
+    for (const auto &s : stats.traffic.samples()) {
+        if (!s.peerOnly)
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace mobius::bench
+
+#endif // MOBIUS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tiny fine-tune: really train a mini GPT (real tensors, real
+ * gradients) on the synthetic corpus under a Mobius-style pipeline
+ * schedule, and verify the updates match plain training exactly —
+ * the Fig. 13 convergence property as a runnable demo.
+ *
+ * Usage: tiny_finetune [steps]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "train/trainer.hh"
+
+using namespace mobius;
+
+int
+main(int argc, char **argv)
+{
+    int steps = argc > 1 ? std::atoi(argv[1]) : 80;
+    if (steps <= 0) {
+        std::fprintf(stderr, "usage: %s [steps]\n", argv[0]);
+        return 1;
+    }
+
+    MiniGptConfig mcfg;
+    mcfg.vocab = 64;
+    mcfg.width = 32;
+    mcfg.heads = 4;
+    mcfg.blocks = 6;
+    mcfg.seqLen = 32;
+    CorpusConfig ccfg;
+    ccfg.vocab = 64;
+    ccfg.numTokens = 20000;
+    SyntheticCorpus corpus(ccfg);
+
+    std::printf("mini GPT: %d blocks, width %d (%lld params); "
+                "corpus: %d tokens, unigram entropy %.3f nats\n\n",
+                mcfg.blocks, mcfg.width,
+                static_cast<long long>(
+                    MiniGpt(mcfg).parameterCount()),
+                ccfg.numTokens, corpus.unigramEntropy());
+
+    // Pipeline-partitioned training: 8 pipeline layers, 4 stages,
+    // exactly how Mobius would stage this model on 4 GPUs.
+    MiniGpt pipe_model(mcfg);
+    PipelineTrainer pipeline(pipe_model,
+                             partitionFromSizes({2, 2, 2, 2}),
+                             AdamConfig{2e-3f});
+    // Reference: plain microbatch accumulation.
+    MiniGpt ref_model(mcfg);
+    MonolithicTrainer reference(ref_model, AdamConfig{2e-3f});
+
+    LossCurve pc = runTraining(pipe_model, corpus, &pipeline,
+                               nullptr, steps, 4, 5);
+    LossCurve rc = runTraining(ref_model, corpus, nullptr,
+                               &reference, steps, 4, 5);
+
+    std::printf("%6s %14s %14s\n", "step", "Mobius pipeline",
+                "reference");
+    for (int s = 0; s < steps; s += std::max(1, steps / 12)) {
+        std::printf("%6d %14.4f %14.4f\n", s, pc.losses[s],
+                    rc.losses[s]);
+    }
+
+    double max_delta = 0;
+    for (int s = 0; s < steps; ++s) {
+        max_delta = std::max(
+            max_delta, std::fabs(pc.losses[s] - rc.losses[s]));
+    }
+    std::printf("\nfinal loss %.4f (from %.4f); max deviation from "
+                "reference: %.1e\n",
+                pc.losses.back(), pc.losses.front(), max_delta);
+    std::printf("synchronous pipeline updates match plain training "
+                "%s\n",
+                max_delta == 0.0 ? "bit for bit" : "approximately");
+    return 0;
+}

@@ -1,0 +1,104 @@
+#include "base/args.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+Args::Args(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+        std::string key = arg.substr(2);
+        std::string value = "true";
+        auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        if (key.empty())
+            fatal("empty option name in '%s'", arg.c_str());
+        values_[key] = value;
+        used_[key] = false;
+    }
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return false;
+    used_[key] = true;
+    return true;
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    used_[key] = true;
+    return it->second;
+}
+
+int
+Args::getInt(const std::string &key, int fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    used_[key] = true;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        fatal("--%s expects an integer, got '%s'", key.c_str(),
+              it->second.c_str());
+    return static_cast<int>(v);
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    used_[key] = true;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("--%s expects a number, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+std::vector<std::string>
+Args::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, used] : used_) {
+        if (!used)
+            out.push_back(key);
+    }
+    return out;
+}
+
+void
+Args::rejectUnused() const
+{
+    auto unused = unusedKeys();
+    if (!unused.empty())
+        fatal("unknown option --%s", unused.front().c_str());
+}
+
+} // namespace mobius

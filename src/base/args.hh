@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools and examples:
+ * "--key value" and "--flag" styles, with typed accessors and an
+ * unknown-argument check.
+ */
+
+#ifndef MOBIUS_BASE_ARGS_HH
+#define MOBIUS_BASE_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mobius
+{
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    /**
+     * Parse argv. "--key value" binds value to key; "--key" followed
+     * by another option (or end) is a boolean flag. Non-option
+     * arguments are collected as positionals.
+     */
+    Args(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Integer option with default; fatal() on malformed values. */
+    int getInt(const std::string &key, int fallback) const;
+
+    /** Double option with default; fatal() on malformed values. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Keys that were consumed by none of the accessors so far. */
+    std::vector<std::string> unusedKeys() const;
+
+    /** fatal() if any option was never read (typo protection). */
+    void rejectUnused() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> used_;
+    std::vector<std::string> positionals_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_BASE_ARGS_HH

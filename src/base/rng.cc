@@ -1,0 +1,21 @@
+#include "base/rng.hh"
+
+#include <cmath>
+
+namespace mobius
+{
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; draw until u1 is nonzero so log() is finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+}
+
+} // namespace mobius

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small, fast, deterministic PRNG (xoshiro256**) used everywhere a
+ * random number is needed, so that runs are bit-reproducible across
+ * platforms (std::mt19937 distributions are not portable).
+ */
+
+#ifndef MOBIUS_BASE_RNG_HH
+#define MOBIUS_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace mobius
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 expansion of the seed into the four lanes.
+        std::uint64_t x = seed;
+        for (auto &lane : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return uniform integer in [0, n). n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** @return standard normal variate (Box-Muller, deterministic). */
+    double gaussian();
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_BASE_RNG_HH

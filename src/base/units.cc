@@ -1,0 +1,41 @@
+#include "base/units.hh"
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+std::string
+formatBytes(Bytes bytes)
+{
+    double b = static_cast<double>(bytes);
+    if (bytes >= GiB)
+        return strfmt("%.2f GiB", b / static_cast<double>(GiB));
+    if (bytes >= MiB)
+        return strfmt("%.2f MiB", b / static_cast<double>(MiB));
+    if (bytes >= KiB)
+        return strfmt("%.2f KiB", b / static_cast<double>(KiB));
+    return strfmt("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    if (bytes_per_sec >= GB)
+        return strfmt("%.2f GB/s", bytes_per_sec / GB);
+    if (bytes_per_sec >= 1e6)
+        return strfmt("%.2f MB/s", bytes_per_sec / 1e6);
+    return strfmt("%.0f B/s", bytes_per_sec);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 1.0)
+        return strfmt("%.3f s", seconds);
+    if (seconds >= 1e-3)
+        return strfmt("%.3f ms", seconds * 1e3);
+    return strfmt("%.1f us", seconds * 1e6);
+}
+
+} // namespace mobius

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unit helpers: byte quantities, bandwidths, time formatting.
+ *
+ * Conventions used throughout Mobius:
+ *   - sizes are bytes, stored in uint64_t;
+ *   - bandwidth is bytes per second, stored in double;
+ *   - simulated time is seconds, stored in double.
+ */
+
+#ifndef MOBIUS_BASE_UNITS_HH
+#define MOBIUS_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mobius
+{
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes KiB = 1024ULL;
+constexpr Bytes MiB = 1024ULL * KiB;
+constexpr Bytes GiB = 1024ULL * MiB;
+
+/** Decimal giga, used for bandwidths quoted in GB/s. */
+constexpr double GB = 1e9;
+
+/** 1 TFLOP/s. */
+constexpr double TFLOPS = 1e12;
+
+/** @return "12.3 GiB"-style human readable size. */
+std::string formatBytes(Bytes bytes);
+
+/** @return "12.3 GB/s"-style human readable bandwidth. */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** @return "123.4 ms"-style human readable duration. */
+std::string formatSeconds(double seconds);
+
+} // namespace mobius
+
+#endif // MOBIUS_BASE_UNITS_HH

@@ -1,0 +1,91 @@
+#include "data/corpus.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.vocab < 2 || cfg_.numTokens < 2)
+        fatal("corpus needs vocab >= 2 and at least 2 tokens");
+
+    // Zipfian cumulative distribution over the vocabulary.
+    std::vector<double> cdf(static_cast<std::size_t>(cfg_.vocab));
+    double total = 0.0;
+    for (int i = 0; i < cfg_.vocab; ++i) {
+        total += 1.0 / std::pow(i + 1.0, cfg_.zipfExponent);
+        cdf[i] = total;
+    }
+    for (auto &v : cdf)
+        v /= total;
+
+    Rng rng(cfg_.seed);
+    auto draw_zipf = [&] {
+        double u = rng.uniform();
+        int lo = 0, hi = cfg_.vocab - 1;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+    // Fixed "grammar": a pseudo-random but deterministic successor
+    // function.
+    auto rule = [&](int prev) {
+        return static_cast<int>(
+            (static_cast<std::uint64_t>(prev) * 2654435761ULL + 17) %
+            static_cast<std::uint64_t>(cfg_.vocab));
+    };
+
+    tokens_.reserve(static_cast<std::size_t>(cfg_.numTokens));
+    int prev = draw_zipf();
+    tokens_.push_back(prev);
+    for (int i = 1; i < cfg_.numTokens; ++i) {
+        int next = rng.uniform() < cfg_.bigramProb ? rule(prev)
+                                                   : draw_zipf();
+        tokens_.push_back(next);
+        prev = next;
+    }
+}
+
+SyntheticCorpus::LmSample
+SyntheticCorpus::sample(int seq_len, Rng &rng) const
+{
+    if (seq_len + 1 > static_cast<int>(tokens_.size()))
+        fatal("corpus too small for sequence length %d", seq_len);
+    std::uint64_t max_start = tokens_.size() -
+        static_cast<std::size_t>(seq_len) - 1;
+    std::size_t start = rng.below(max_start + 1);
+    LmSample s;
+    s.input.assign(tokens_.begin() + start,
+                   tokens_.begin() + start + seq_len);
+    s.target.assign(tokens_.begin() + start + 1,
+                    tokens_.begin() + start + seq_len + 1);
+    return s;
+}
+
+double
+SyntheticCorpus::unigramEntropy() const
+{
+    std::vector<double> counts(static_cast<std::size_t>(cfg_.vocab),
+                               0.0);
+    for (int t : tokens_)
+        counts[t] += 1.0;
+    double h = 0.0;
+    for (double c : counts) {
+        if (c > 0) {
+            double p = c / tokens_.size();
+            h -= p * std::log(p);
+        }
+    }
+    return h;
+}
+
+} // namespace mobius

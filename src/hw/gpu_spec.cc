@@ -1,0 +1,54 @@
+#include "hw/gpu_spec.hh"
+
+namespace mobius
+{
+
+const GpuSpec &
+rtx3090Ti()
+{
+    static const GpuSpec spec{
+        "RTX 3090-Ti",
+        40.0 * TFLOPS,       // Table 1: 40 TFlops FP32
+        160.0 * TFLOPS,      // FP16 tensor-core peak
+        336,                 // Table 1
+        24 * GiB,
+        2000.0,              // Table 1
+        false,               // no GPUDirect P2P
+        false,               // no NVLink
+    };
+    return spec;
+}
+
+const GpuSpec &
+a100()
+{
+    static const GpuSpec spec{
+        "A100",
+        19.0 * TFLOPS,       // Table 1: 19 TFlops FP32
+        312.0 * TFLOPS,
+        432,                 // Table 1
+        40 * GiB,
+        14000.0,             // Table 1
+        true,
+        true,
+    };
+    return spec;
+}
+
+const GpuSpec &
+v100()
+{
+    static const GpuSpec spec{
+        "V100-16GB",
+        15.7 * TFLOPS,
+        125.0 * TFLOPS,
+        640,
+        16 * GiB,            // §4 setup: 16 GB memory
+        10000.0,
+        true,
+        true,
+    };
+    return spec;
+}
+
+} // namespace mobius

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * GPU device specifications (Table 1 of the paper plus the V100 used by
+ * the data-center experiments in §4.8).
+ *
+ * Throughput numbers are peak; the compute-time model in src/model
+ * applies an efficiency factor on top. Prices are the paper's.
+ */
+
+#ifndef MOBIUS_HW_GPU_SPEC_HH
+#define MOBIUS_HW_GPU_SPEC_HH
+
+#include <string>
+
+#include "base/units.hh"
+
+namespace mobius
+{
+
+/** Static description of a GPU device type. */
+struct GpuSpec
+{
+    std::string name;
+    double fp32Flops;       //!< peak FP32 FLOP/s
+    double fp16Flops;       //!< peak FP16 tensor-core FLOP/s
+    int tensorCores;        //!< tensor core count (Table 1)
+    Bytes memBytes;         //!< device memory capacity
+    double priceUsd;        //!< unit price (Table 1 / §2.2)
+    bool gpudirectP2p;      //!< GPUDirect peer-to-peer support
+    bool nvlink;            //!< high-bandwidth connectivity support
+};
+
+/** NVIDIA GeForce RTX 3090-Ti (the paper's commodity GPU). */
+const GpuSpec &rtx3090Ti();
+
+/** NVIDIA A100 (Table 1 comparison column). */
+const GpuSpec &a100();
+
+/** NVIDIA V100 16 GB (EC2 p3.8xlarge, §4.8). */
+const GpuSpec &v100();
+
+} // namespace mobius
+
+#endif // MOBIUS_HW_GPU_SPEC_HH

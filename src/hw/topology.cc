@@ -1,0 +1,232 @@
+#include "hw/topology.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+Topology::Topology(const std::string &name)
+{
+    Node dram;
+    dram.id = 0;
+    dram.kind = NodeKind::Dram;
+    dram.name = name;
+    nodes_.push_back(dram);
+}
+
+int
+Topology::addNode(NodeKind kind, const std::string &name, int parent,
+                  double link_capacity)
+{
+    if (parent < 0 || parent >= numNodes())
+        panic("addNode: bad parent id %d", parent);
+    if (link_capacity <= 0)
+        panic("addNode: non-positive link capacity");
+
+    Node n;
+    n.id = numNodes();
+    n.kind = kind;
+    n.name = name;
+    n.parent = parent;
+
+    Link l;
+    l.id = numLinks();
+    l.nodeA = parent;
+    l.nodeB = n.id;
+    l.capacity = link_capacity;
+    l.name = nodes_[parent].name + "<->" + name;
+    n.upLink = l.id;
+
+    links_.push_back(l);
+    nodes_.push_back(n);
+    return n.id;
+}
+
+int
+Topology::addRootComplex(const std::string &name, double link_capacity)
+{
+    return addNode(NodeKind::RootComplex, name, 0, link_capacity);
+}
+
+int
+Topology::addSwitch(int parent, const std::string &name,
+                    double link_capacity)
+{
+    return addNode(NodeKind::Switch, name, parent, link_capacity);
+}
+
+int
+Topology::addGpu(int parent, const std::string &name,
+                 double link_capacity, const GpuSpec &spec)
+{
+    int id = addNode(NodeKind::Gpu, name, parent, link_capacity);
+    int gpu = numGpus();
+    nodes_[id].gpuIndex = gpu;
+    gpuNodes_.push_back(id);
+    gpuSpecs_.push_back(&spec);
+    for (auto &row : peerLink_)
+        row.push_back(-1);
+    peerLink_.emplace_back(gpuNodes_.size(), -1);
+    return gpu;
+}
+
+int
+Topology::addPeerLink(int gpu_a, int gpu_b, double capacity)
+{
+    if (gpu_a < 0 || gpu_a >= numGpus() || gpu_b < 0 ||
+        gpu_b >= numGpus() || gpu_a == gpu_b) {
+        panic("addPeerLink: bad GPU pair (%d, %d)", gpu_a, gpu_b);
+    }
+    Link l;
+    l.id = numLinks();
+    l.nodeA = gpuNodes_[gpu_a];
+    l.nodeB = gpuNodes_[gpu_b];
+    l.capacity = capacity;
+    l.peer = true;
+    l.name = strfmt("nvlink[%d-%d]", gpu_a, gpu_b);
+    links_.push_back(l);
+    peerLink_[gpu_a][gpu_b] = l.id;
+    peerLink_[gpu_b][gpu_a] = l.id;
+    return l.id;
+}
+
+int
+Topology::rootComplexOf(int gpu) const
+{
+    if (gpu < 0 || gpu >= numGpus())
+        panic("rootComplexOf: bad gpu %d", gpu);
+    int n = gpuNodes_[gpu];
+    while (n >= 0 && nodes_[n].kind != NodeKind::RootComplex)
+        n = nodes_[n].parent;
+    if (n < 0)
+        panic("GPU %d has no root complex above it", gpu);
+    return n;
+}
+
+std::vector<int>
+Topology::gpusUnderRootComplex(int rc) const
+{
+    std::vector<int> out;
+    for (int g = 0; g < numGpus(); ++g) {
+        if (rootComplexOf(g) == rc)
+            out.push_back(g);
+    }
+    return out;
+}
+
+std::vector<int>
+Topology::rootComplexes() const
+{
+    std::vector<int> out;
+    for (const auto &n : nodes_) {
+        if (n.kind == NodeKind::RootComplex)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+int
+Topology::sharedRootComplexDegree(int gpu_a, int gpu_b) const
+{
+    int rc_a = rootComplexOf(gpu_a);
+    if (rc_a != rootComplexOf(gpu_b))
+        return 0;
+    return static_cast<int>(gpusUnderRootComplex(rc_a).size());
+}
+
+std::vector<Hop>
+Topology::hopsToRoot(int from) const
+{
+    std::vector<Hop> hops;
+    int n = from;
+    while (nodes_[n].parent >= 0) {
+        // Walking child -> parent traverses the link in the
+        // nodeB -> nodeA direction, i.e. not forward.
+        hops.push_back(Hop{nodes_[n].upLink, false});
+        n = nodes_[n].parent;
+    }
+    return hops;
+}
+
+bool
+Topology::routable(Endpoint src, Endpoint dst) const
+{
+    if (src == dst)
+        return false;
+    if (src.isDram || dst.isDram)
+        return true;
+    return gpudirectP2p_;
+}
+
+std::vector<Hop>
+Topology::route(Endpoint src, Endpoint dst) const
+{
+    if (src == dst)
+        panic("route: src == dst");
+
+    if (src.isDram && !dst.isDram) {
+        // DRAM -> GPU: reverse of the GPU's walk to the root, with
+        // every hop flipped to the parent -> child direction.
+        auto up = hopsToRoot(gpuNodes_[dst.gpu]);
+        std::vector<Hop> hops;
+        for (auto it = up.rbegin(); it != up.rend(); ++it)
+            hops.push_back(Hop{it->link, true});
+        return hops;
+    }
+    if (!src.isDram && dst.isDram)
+        return hopsToRoot(gpuNodes_[src.gpu]);
+
+    // GPU -> GPU.
+    if (!gpudirectP2p_) {
+        fatal("GPU%d -> GPU%d transfer requested but GPUDirect P2P is "
+              "not supported on this server; the transfer must be "
+              "staged through DRAM", src.gpu, dst.gpu);
+    }
+    int direct = peerLink_[src.gpu][dst.gpu];
+    if (direct >= 0) {
+        const Link &l = links_[direct];
+        bool forward = l.nodeA == gpuNodes_[src.gpu];
+        return {Hop{direct, forward}};
+    }
+
+    // P2P over the PCIe fabric: up to the lowest common ancestor,
+    // then down.
+    auto up_src = hopsToRoot(gpuNodes_[src.gpu]);
+    auto up_dst = hopsToRoot(gpuNodes_[dst.gpu]);
+    // Chains of node ids from each GPU to the root.
+    std::vector<int> chain_src{gpuNodes_[src.gpu]};
+    for (const auto &h : up_src)
+        chain_src.push_back(links_[h.link].nodeA);
+    std::vector<int> chain_dst{gpuNodes_[dst.gpu]};
+    for (const auto &h : up_dst)
+        chain_dst.push_back(links_[h.link].nodeA);
+
+    // Find the first node of chain_src that appears in chain_dst.
+    int lca = -1;
+    std::size_t src_steps = 0;
+    std::size_t dst_steps = 0;
+    for (std::size_t i = 0; i < chain_src.size() && lca < 0; ++i) {
+        for (std::size_t j = 0; j < chain_dst.size(); ++j) {
+            if (chain_src[i] == chain_dst[j]) {
+                lca = chain_src[i];
+                src_steps = i;
+                dst_steps = j;
+                break;
+            }
+        }
+    }
+    if (lca < 0)
+        panic("no common ancestor for GPU%d and GPU%d", src.gpu,
+              dst.gpu);
+
+    std::vector<Hop> hops(up_src.begin(),
+                          up_src.begin() +
+                              static_cast<std::ptrdiff_t>(src_steps));
+    for (std::size_t j = dst_steps; j-- > 0;)
+        hops.push_back(Hop{up_dst[j].link, true});
+    return hops;
+}
+
+} // namespace mobius

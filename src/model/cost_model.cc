@@ -1,0 +1,177 @@
+#include "model/cost_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+CostModel::CostModel(const ModelDesc &model, const GpuSpec &gpu,
+                     TrainConfig cfg)
+    : model_(&model), gpu_(&gpu), cfg_(cfg)
+{
+    if (cfg_.microbatchSize < 1 || cfg_.numMicrobatches < 1)
+        fatal("train config needs positive microbatch size/count");
+    if (cfg_.mfu <= 0 || cfg_.mfu > 1)
+        fatal("mfu must be in (0, 1]");
+}
+
+void
+CostModel::checkRange(int lo, int hi) const
+{
+    if (lo < 0 || hi > numLayers() || lo >= hi)
+        panic("bad layer range [%d, %d)", lo, hi);
+}
+
+double
+CostModel::fwdTime(int i) const
+{
+    const LayerDesc &l = model_->layers[i];
+    double flops = l.fwdFlopsPerSample * cfg_.microbatchSize;
+    return flops / (gpu_->fp16Flops * cfg_.mfu) + cfg_.kernelLatency;
+}
+
+double
+CostModel::bwdTime(int i) const
+{
+    // Backward is ~2x forward FLOPs; checkpointing recomputes the
+    // forward on top of that (§3.1 assumes checkpointing).
+    double factor = cfg_.activationCheckpointing ? 3.0 : 2.0;
+    const LayerDesc &l = model_->layers[i];
+    double flops = factor * l.fwdFlopsPerSample * cfg_.microbatchSize;
+    return flops / (gpu_->fp16Flops * cfg_.mfu) + cfg_.kernelLatency;
+}
+
+Bytes
+CostModel::paramBytes(int i) const
+{
+    return model_->layers[i].paramBytesFp16();
+}
+
+Bytes
+CostModel::gradBytes(int i) const
+{
+    return model_->layers[i].gradBytesFp16();
+}
+
+Bytes
+CostModel::actBytes(int i) const
+{
+    return model_->layers[i].actBytesPerSample *
+        static_cast<Bytes>(cfg_.microbatchSize);
+}
+
+Bytes
+CostModel::inActBytes(int i) const
+{
+    if (i == 0) {
+        // Token ids: 4 bytes per position.
+        return static_cast<Bytes>(model_->seqLen) * 4 *
+            static_cast<Bytes>(cfg_.microbatchSize);
+    }
+    return actBytes(i - 1);
+}
+
+Bytes
+CostModel::workBytes(int i) const
+{
+    return model_->layers[i].workBytesPerSample *
+        static_cast<Bytes>(cfg_.microbatchSize);
+}
+
+Bytes
+CostModel::rangeParamBytes(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    Bytes total = 0;
+    for (int i = lo; i < hi; ++i)
+        total += paramBytes(i);
+    return total;
+}
+
+Bytes
+CostModel::rangeGradBytes(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    Bytes total = 0;
+    for (int i = lo; i < hi; ++i)
+        total += gradBytes(i);
+    return total;
+}
+
+double
+CostModel::rangeFwdTime(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    double total = 0;
+    for (int i = lo; i < hi; ++i)
+        total += fwdTime(i);
+    return total;
+}
+
+double
+CostModel::rangeBwdTime(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    double total = 0;
+    for (int i = lo; i < hi; ++i)
+        total += bwdTime(i);
+    return total;
+}
+
+Bytes
+CostModel::stageMemFwd(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    // Weights of every layer in the stage, plus the live tensors of
+    // the busiest layer: its input, its output, and its workspace.
+    // (With checkpointing, earlier boundary activations are offloaded
+    // to DRAM as soon as the next layer consumed them.)
+    Bytes peak_live = 0;
+    for (int i = lo; i < hi; ++i) {
+        Bytes live = inActBytes(i) + actBytes(i) + workBytes(i);
+        peak_live = std::max(peak_live, live);
+    }
+    return rangeParamBytes(lo, hi) + peak_live;
+}
+
+Bytes
+CostModel::optimizerBytes(int i) const
+{
+    // FP32 master copy + Adam first and second moments.
+    return 12 * model_->layers[i].paramCount;
+}
+
+Bytes
+CostModel::stageMemResident(int lo, int hi,
+                            int num_microbatches) const
+{
+    checkRange(lo, hi);
+    Bytes opt = 0;
+    Bytes checkpoints = 0;
+    for (int i = lo; i < hi; ++i)
+        opt += optimizerBytes(i);
+    // One boundary input activation per microbatch survives until
+    // the backward pass reaches this stage.
+    checkpoints = inActBytes(lo) * static_cast<Bytes>(num_microbatches);
+    return stageMemBwd(lo, hi) + opt + checkpoints;
+}
+
+Bytes
+CostModel::stageMemBwd(int lo, int hi) const
+{
+    checkRange(lo, hi);
+    // Backward additionally holds gradient buffers for the stage's
+    // weights, the incoming activation gradient, and recomputation
+    // scratch (about the forward's live set again).
+    Bytes peak_live = 0;
+    for (int i = lo; i < hi; ++i) {
+        Bytes live = 2 * (inActBytes(i) + actBytes(i)) + workBytes(i);
+        peak_live = std::max(peak_live, live);
+    }
+    return rangeParamBytes(lo, hi) + rangeGradBytes(lo, hi) +
+        peak_live;
+}
+
+} // namespace mobius

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared cost model: layer execution times and memory footprints on a
+ * given GPU, for a given training configuration.
+ *
+ * Both the executors (src/runtime) and the partition planner
+ * (src/plan) consume this model, mirroring the paper's flow where the
+ * profiler measures per-layer time/memory and the MIP uses those
+ * numbers (§3.2). In this reproduction the "measurement" is analytic:
+ * FLOPs / (peak FP16 throughput x efficiency) + a fixed kernel
+ * launch latency.
+ */
+
+#ifndef MOBIUS_MODEL_COST_MODEL_HH
+#define MOBIUS_MODEL_COST_MODEL_HH
+
+#include "hw/gpu_spec.hh"
+#include "model/model.hh"
+
+namespace mobius
+{
+
+/** Knobs of one fine-tuning run. */
+struct TrainConfig
+{
+    int microbatchSize = 1;
+    /** Microbatches per step, M; Mobius sets M = #GPUs (§3.1). */
+    int numMicrobatches = 4;
+    /** Gradient checkpointing (§3.1 assumes it; backward recomputes). */
+    bool activationCheckpointing = true;
+    /** Fraction of peak FP16 throughput actually achieved. */
+    double mfu = 0.30;
+    /** Fixed per-layer kernel launch/dispatch latency (seconds). */
+    double kernelLatency = 30e-6;
+};
+
+/** Per-layer time and memory estimates for one (model, GPU, config). */
+class CostModel
+{
+  public:
+    CostModel(const ModelDesc &model, const GpuSpec &gpu,
+              TrainConfig cfg);
+
+    const ModelDesc &model() const { return *model_; }
+    const GpuSpec &gpu() const { return *gpu_; }
+    const TrainConfig &cfg() const { return cfg_; }
+
+    int numLayers() const { return model_->numLayers(); }
+
+    /** Forward time of layer @p i for one microbatch (seconds). */
+    double fwdTime(int i) const;
+
+    /**
+     * Backward time of layer @p i for one microbatch. With
+     * checkpointing this includes recomputing the forward.
+     */
+    double bwdTime(int i) const;
+
+    /** FP16 weight bytes of layer @p i. */
+    Bytes paramBytes(int i) const;
+
+    /** FP16 gradient bytes of layer @p i. */
+    Bytes gradBytes(int i) const;
+
+    /** Output boundary activation of layer @p i, one microbatch. */
+    Bytes actBytes(int i) const;
+
+    /** Input boundary activation of layer @p i, one microbatch. */
+    Bytes inActBytes(int i) const;
+
+    /** Transient workspace of layer @p i, one microbatch. */
+    Bytes workBytes(int i) const;
+
+    /** @name Aggregates over the layer range [lo, hi). */
+    /** @{ */
+    Bytes rangeParamBytes(int lo, int hi) const;
+    Bytes rangeGradBytes(int lo, int hi) const;
+    double rangeFwdTime(int lo, int hi) const;
+    double rangeBwdTime(int lo, int hi) const;
+    /** @} */
+
+    /**
+     * GPU bytes needed while the stage [lo, hi) runs its forward on
+     * one microbatch: weights + live boundary activations + peak
+     * workspace (the paper's S_j^f, Eq. 4).
+     */
+    Bytes stageMemFwd(int lo, int hi) const;
+
+    /** Same for backward (adds gradient buffers), S_j^b. */
+    Bytes stageMemBwd(int lo, int hi) const;
+
+    /**
+     * FP32 master weights plus Adam moments for layer @p i
+     * (12 B/param). Mobius and DeepSpeed keep these in DRAM and
+     * update on the CPU; all-in-GPU-memory pipelines (GPipe,
+     * DeepSpeed pipeline mode) must hold them on the GPU, which is
+     * why they OOM first in Fig. 5.
+     */
+    Bytes optimizerBytes(int i) const;
+
+    /**
+     * Resident GPU bytes for a stage [lo, hi) of an all-in-GPU-memory
+     * pipeline executing @p num_microbatches microbatches per step:
+     * FP16 weights + FP16 gradients + optimizer states + one
+     * checkpointed boundary input per microbatch + peak live set.
+     */
+    Bytes stageMemResident(int lo, int hi,
+                           int num_microbatches) const;
+
+  private:
+    void checkRange(int lo, int hi) const;
+
+    const ModelDesc *model_;
+    const GpuSpec *gpu_;
+    TrainConfig cfg_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_MODEL_COST_MODEL_HH

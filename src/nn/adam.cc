@@ -1,0 +1,49 @@
+#include "nn/adam.hh"
+
+#include <cmath>
+
+namespace mobius
+{
+
+Adam::Adam(std::vector<Tensor> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg)
+{
+    for (auto &p : params_) {
+        m_.emplace_back(p.data().size(), 0.0f);
+        v_.emplace_back(p.data().size(), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    float bc1 = 1.0f -
+        std::pow(cfg_.beta1, static_cast<float>(t_));
+    float bc2 = 1.0f -
+        std::pow(cfg_.beta2, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &p = params_[i].data();
+        auto &g = params_[i].grad();
+        auto &m = m_[i];
+        auto &v = v_[i];
+        for (std::size_t j = 0; j < p.size(); ++j) {
+            m[j] = cfg_.beta1 * m[j] + (1.0f - cfg_.beta1) * g[j];
+            v[j] = cfg_.beta2 * v[j] +
+                (1.0f - cfg_.beta2) * g[j] * g[j];
+            float mhat = m[j] / bc1;
+            float vhat = v[j] / bc2;
+            p[j] -= cfg_.lr * mhat /
+                (std::sqrt(vhat) + cfg_.eps);
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (auto &p : params_)
+        p.zeroGrad();
+}
+
+} // namespace mobius

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba) with bias correction — the optimizer
+ * the fine-tuning systems run on the CPU side against the gradients
+ * flushed to DRAM.
+ */
+
+#ifndef MOBIUS_NN_ADAM_HH
+#define MOBIUS_NN_ADAM_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace mobius
+{
+
+/** Adam hyperparameters. */
+struct AdamConfig
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+};
+
+/** Adam over a fixed parameter list. */
+class Adam
+{
+  public:
+    explicit Adam(std::vector<Tensor> params, AdamConfig cfg = {});
+
+    /** Apply one update from the parameters' .grad buffers. */
+    void step();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    int stepsTaken() const { return t_; }
+
+  private:
+    std::vector<Tensor> params_;
+    AdamConfig cfg_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    int t_ = 0;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_NN_ADAM_HH

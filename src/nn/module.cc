@@ -1,0 +1,185 @@
+#include "nn/module.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+void
+initUniform(Tensor &t, float a, Rng &rng)
+{
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.uniform(-a, a));
+}
+
+Linear::Linear(int in, int out, Rng &rng)
+    : w_(Shape{in, out}, true), b_(Shape{out}, true)
+{
+    float a = 1.0f / std::sqrt(static_cast<float>(in));
+    initUniform(w_, a, rng);
+    initUniform(b_, a, rng);
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    return addRowBroadcast(matmul(x, w_), b_);
+}
+
+LayerNormModule::LayerNormModule(int width)
+    : g_(Shape{width}, std::vector<float>(width, 1.0f), true),
+      b_(Shape{width}, true)
+{
+}
+
+Tensor
+LayerNormModule::forward(const Tensor &x)
+{
+    return layerNorm(x, g_, b_);
+}
+
+TransformerBlockModule::TransformerBlockModule(int width, int heads,
+                                               Rng &rng)
+    : heads_(heads), ln1_(width), qkv_(width, 3 * width, rng),
+      proj_(width, width, rng), ln2_(width),
+      fc1_(width, 4 * width, rng), fc2_(4 * width, width, rng)
+{
+    if (width % heads != 0)
+        fatal("block width %d not divisible by %d heads", width,
+              heads);
+}
+
+Tensor
+TransformerBlockModule::forward(const Tensor &x)
+{
+    int s = x.dim(0);
+    int h = x.dim(1);
+
+    // Attention with a residual connection.
+    Tensor normed = ln1_.forward(x);
+    Tensor qkv = qkv_.forward(normed); // [s, 3h]
+    // Split into q, k, v (copy-based slices with autograd).
+    auto slice_cols = [&](const Tensor &t, int lo) {
+        Tensor out(Shape{s, h});
+        for (int i = 0; i < s; ++i) {
+            for (int j = 0; j < h; ++j) {
+                out.data()[static_cast<std::size_t>(i) * h + j] =
+                    t.data()[static_cast<std::size_t>(i) * 3 * h +
+                             lo + j];
+            }
+        }
+        auto impl = out.impl();
+        impl->parents = {t.impl()};
+        impl->backwardFn = [s, h, lo](TensorImpl &self) {
+            auto &gp = self.parents[0]->gradRef();
+            for (int i = 0; i < s; ++i) {
+                for (int j = 0; j < h; ++j) {
+                    gp[static_cast<std::size_t>(i) * 3 * h + lo +
+                       j] +=
+                        self.grad[static_cast<std::size_t>(i) * h +
+                                  j];
+                }
+            }
+        };
+        return out;
+    };
+    Tensor q = slice_cols(qkv, 0);
+    Tensor k = slice_cols(qkv, h);
+    Tensor v = slice_cols(qkv, 2 * h);
+    Tensor att = causalSelfAttention(q, k, v, heads_);
+    Tensor x1 = add(x, proj_.forward(att));
+
+    // MLP with a residual connection.
+    Tensor mlp = fc2_.forward(gelu(fc1_.forward(ln2_.forward(x1))));
+    return add(x1, mlp);
+}
+
+std::vector<Tensor>
+TransformerBlockModule::parameters()
+{
+    std::vector<Tensor> out;
+    for (Module *m : std::initializer_list<Module *>{
+             &ln1_, &qkv_, &proj_, &ln2_, &fc1_, &fc2_}) {
+        auto ps = m->parameters();
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+MiniGpt::MiniGpt(const MiniGptConfig &cfg)
+    : cfg_(cfg), tokEmb_(Shape{cfg.vocab, cfg.width}, true),
+      posEmb_(Shape{cfg.seqLen, cfg.width}, true), lnf_(cfg.width),
+      head_([&] {
+          Rng head_rng(cfg.seed + 999);
+          return Linear(cfg.width, cfg.vocab, head_rng);
+      }())
+{
+    Rng rng(cfg.seed);
+    initUniform(tokEmb_, 0.08f, rng);
+    initUniform(posEmb_, 0.02f, rng);
+    for (int b = 0; b < cfg.blocks; ++b) {
+        blocks_.push_back(std::make_unique<TransformerBlockModule>(
+            cfg.width, cfg.heads, rng));
+    }
+}
+
+Tensor
+MiniGpt::forwardLayer(int layer, const Tensor &x,
+                      const std::vector<int> &ids)
+{
+    if (layer == 0) {
+        if (static_cast<int>(ids.size()) != cfg_.seqLen)
+            fatal("MiniGpt expects %d tokens, got %zu", cfg_.seqLen,
+                  ids.size());
+        std::vector<int> pos(ids.size());
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            pos[i] = static_cast<int>(i);
+        return add(embedding(tokEmb_, ids),
+                   embedding(posEmb_, pos));
+    }
+    if (layer <= cfg_.blocks)
+        return blocks_[layer - 1]->forward(x);
+    if (layer == cfg_.blocks + 1)
+        return head_.forward(lnf_.forward(x));
+    panic("MiniGpt has no pipeline layer %d", layer);
+}
+
+Tensor
+MiniGpt::forward(const std::vector<int> &ids)
+{
+    Tensor x = forwardLayer(0, Tensor(), ids);
+    for (int l = 1; l < numPipelineLayers(); ++l)
+        x = forwardLayer(l, x, ids);
+    return x;
+}
+
+std::vector<Tensor>
+MiniGpt::layerParameters(int layer)
+{
+    if (layer == 0)
+        return {tokEmb_, posEmb_};
+    if (layer <= cfg_.blocks)
+        return blocks_[layer - 1]->parameters();
+    if (layer == cfg_.blocks + 1) {
+        auto out = lnf_.parameters();
+        auto hp = head_.parameters();
+        out.insert(out.end(), hp.begin(), hp.end());
+        return out;
+    }
+    panic("MiniGpt has no pipeline layer %d", layer);
+}
+
+std::vector<Tensor>
+MiniGpt::parameters()
+{
+    std::vector<Tensor> out;
+    for (int l = 0; l < numPipelineLayers(); ++l) {
+        auto ps = layerParameters(l);
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+} // namespace mobius

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Neural-network modules over the tensor library: Linear, LayerNorm,
+ * causal self-attention blocks, and a mini GPT language model. Used
+ * by the Fig. 13 convergence experiment and the training examples.
+ *
+ * The GPT is deliberately stage-friendly: it exposes its layer list
+ * so the pipeline trainer can partition it exactly like the real
+ * system partitions the big models.
+ */
+
+#ifndef MOBIUS_NN_MODULE_HH
+#define MOBIUS_NN_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace mobius
+{
+
+/** Base class: anything owning trainable parameters. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters (for the optimizer). */
+    virtual std::vector<Tensor> parameters() = 0;
+
+    /** Total scalar parameter count. */
+    std::int64_t
+    parameterCount()
+    {
+        std::int64_t n = 0;
+        for (auto &p : parameters())
+            n += p.numel();
+        return n;
+    }
+
+    /** Zero every parameter gradient. */
+    void
+    zeroGrad()
+    {
+        for (auto &p : parameters())
+            p.zeroGrad();
+    }
+};
+
+/** y = x W + b. */
+class Linear : public Module
+{
+  public:
+    Linear(int in, int out, Rng &rng);
+
+    Tensor forward(const Tensor &x);
+    std::vector<Tensor> parameters() override { return {w_, b_}; }
+
+  private:
+    Tensor w_; //!< [in, out]
+    Tensor b_; //!< [out]
+};
+
+/** LayerNorm with affine parameters. */
+class LayerNormModule : public Module
+{
+  public:
+    explicit LayerNormModule(int width);
+
+    Tensor forward(const Tensor &x);
+    std::vector<Tensor> parameters() override { return {g_, b_}; }
+
+  private:
+    Tensor g_;
+    Tensor b_;
+};
+
+/** Pre-norm transformer block: x + Attn(LN(x)), x + MLP(LN(x)). */
+class TransformerBlockModule : public Module
+{
+  public:
+    TransformerBlockModule(int width, int heads, Rng &rng);
+
+    Tensor forward(const Tensor &x);
+    std::vector<Tensor> parameters() override;
+
+  private:
+    int heads_;
+    LayerNormModule ln1_;
+    Linear qkv_;   //!< [h, 3h]
+    Linear proj_;  //!< [h, h]
+    LayerNormModule ln2_;
+    Linear fc1_;   //!< [h, 4h]
+    Linear fc2_;   //!< [4h, h]
+};
+
+/** Mini GPT configuration. */
+struct MiniGptConfig
+{
+    int vocab = 96;
+    int width = 64;
+    int heads = 4;
+    int blocks = 4;
+    int seqLen = 64;
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * A tiny GPT language model exposing its layer stack, so it can be
+ * trained monolithically or stage-partitioned (Fig. 13).
+ */
+class MiniGpt : public Module
+{
+  public:
+    explicit MiniGpt(const MiniGptConfig &cfg);
+
+    const MiniGptConfig &cfg() const { return cfg_; }
+
+    /**
+     * Number of pipeline-partitionable layers: embedding, blocks,
+     * final norm + head (folded into one last layer).
+     */
+    int numPipelineLayers() const
+    {
+        return cfg_.blocks + 2;
+    }
+
+    /**
+     * Forward through pipeline layer @p layer.
+     * Layer 0 consumes token ids (via @p ids) and ignores @p x;
+     * the last layer returns logits [seq, vocab].
+     */
+    Tensor forwardLayer(int layer, const Tensor &x,
+                        const std::vector<int> &ids);
+
+    /** Full forward: ids -> logits. */
+    Tensor forward(const std::vector<int> &ids);
+
+    /** Parameters of one pipeline layer (for per-stage optimizers). */
+    std::vector<Tensor> layerParameters(int layer);
+
+    std::vector<Tensor> parameters() override;
+
+  private:
+    MiniGptConfig cfg_;
+    Tensor tokEmb_; //!< [vocab, h]
+    Tensor posEmb_; //!< [seq, h]
+    std::vector<std::unique_ptr<TransformerBlockModule>> blocks_;
+    LayerNormModule lnf_;
+    Linear head_;
+};
+
+/** Uniform(-a, a) init with deterministic RNG. */
+void initUniform(Tensor &t, float a, Rng &rng);
+
+} // namespace mobius
+
+#endif // MOBIUS_NN_MODULE_HH

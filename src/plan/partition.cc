@@ -1,0 +1,69 @@
+#include "plan/partition.hh"
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+bool
+partitionValid(const Partition &p, int num_layers)
+{
+    if (p.empty())
+        return false;
+    int pos = 0;
+    for (const auto &s : p) {
+        if (s.lo != pos || s.hi <= s.lo)
+            return false;
+        pos = s.hi;
+    }
+    return pos == num_layers;
+}
+
+void
+checkPartition(const Partition &p, int num_layers)
+{
+    if (!partitionValid(p, num_layers)) {
+        panic("invalid partition %s for %d layers",
+              partitionToString(p).c_str(), num_layers);
+    }
+}
+
+Partition
+partitionFromSizes(const std::vector<int> &sizes)
+{
+    Partition p;
+    int pos = 0;
+    for (int s : sizes) {
+        p.push_back(StageRange{pos, pos + s});
+        pos += s;
+    }
+    return p;
+}
+
+std::string
+partitionToString(const Partition &p)
+{
+    std::string out;
+    for (const auto &s : p) {
+        if (!out.empty())
+            out += "|";
+        out += std::to_string(s.size());
+    }
+    return out;
+}
+
+Partition
+uniformPartition(int num_layers, int num_stages)
+{
+    if (num_stages < 1 || num_stages > num_layers)
+        panic("cannot split %d layers into %d stages", num_layers,
+              num_stages);
+    std::vector<int> sizes;
+    int base = num_layers / num_stages;
+    int extra = num_layers % num_stages;
+    for (int i = 0; i < num_stages; ++i)
+        sizes.push_back(base + (i < extra ? 1 : 0));
+    return partitionFromSizes(sizes);
+}
+
+} // namespace mobius

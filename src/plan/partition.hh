@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Partition types: a model partition is an ordered list of stages,
+ * each a contiguous range of layers (§3.1/§3.2). The paper's MIP uses
+ * boolean layer->stage placement variables; pipeline-order constraints
+ * force placements to be contiguous and monotone, so a partition is
+ * exactly a composition of the layer count.
+ */
+
+#ifndef MOBIUS_PLAN_PARTITION_HH
+#define MOBIUS_PLAN_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.hh"
+
+namespace mobius
+{
+
+/** A stage: the layer range [lo, hi). */
+struct StageRange
+{
+    int lo = 0;
+    int hi = 0;
+
+    int size() const { return hi - lo; }
+
+    bool
+    operator==(const StageRange &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** An ordered partition of the model into stages. */
+using Partition = std::vector<StageRange>;
+
+/** @return true if @p p covers [0, num_layers) contiguously. */
+bool partitionValid(const Partition &p, int num_layers);
+
+/** panic() unless partitionValid. */
+void checkPartition(const Partition &p, int num_layers);
+
+/** Build a partition from stage sizes (a composition). */
+Partition partitionFromSizes(const std::vector<int> &sizes);
+
+/** @return "8|8|8|8"-style description. */
+std::string partitionToString(const Partition &p);
+
+/**
+ * A near-uniform partition of @p num_layers into @p num_stages
+ * stages (sizes differ by at most one, larger stages first).
+ */
+Partition uniformPartition(int num_layers, int num_stages);
+
+} // namespace mobius
+
+#endif // MOBIUS_PLAN_PARTITION_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's literal MIP formulation (§3.2, Eq. 3-11), expressed
+ * over the in-tree branch-and-bound solver (solver/mip.hh) instead of
+ * Gurobi.
+ *
+ * Boolean placement variables B_{i,j}, continuous start times
+ * t^{f|b}_{j,m}, prefetch volumes P^{f|b}_j and a makespan variable
+ * are assembled exactly as in the paper, for a *fixed* stage count S
+ * with non-empty stages (the paper's "L logical stages, empties
+ * allowed" is equivalent to trying every S; exactMipPartition does
+ * that sweep).
+ *
+ * This formulation is exponential in practice, so it is intended for
+ * small models: unit tests cross-validate the scalable search in
+ * partition_algos.cc against it, and it documents the formulation
+ * concretely. It assumes uniform boundary-activation size across
+ * layers (true for transformer stacks), since the activation crossing
+ * a stage boundary must be a constant for the constraint matrix to
+ * stay linear.
+ */
+
+#ifndef MOBIUS_PLAN_PARTITION_MIP_HH
+#define MOBIUS_PLAN_PARTITION_MIP_HH
+
+#include "plan/pipeline_cost.hh"
+#include "solver/mip.hh"
+
+namespace mobius
+{
+
+/** Outcome of the faithful-MIP solve. */
+struct ExactMipResult
+{
+    bool solved = false;
+    Partition partition;
+    double objective = 0.0;       //!< MIP makespan (seconds)
+    std::uint64_t nodes = 0;      //!< B&B nodes explored
+};
+
+/**
+ * Build the Eq. 3-11 MIP for @p eval with exactly @p num_stages
+ * non-empty stages. Exposed for testing/inspection.
+ *
+ * @param[out] b_var b_var[i][j] = variable index of B_{i,j}.
+ */
+MipProblem buildPartitionMip(const PipelineCostEvaluator &eval,
+                             int num_stages,
+                             std::vector<std::vector<int>> *b_var);
+
+/**
+ * Solve Eq. 3-11 for stage counts N..max_stages and return the best.
+ * Only valid for small models (layer count <= ~8).
+ */
+ExactMipResult exactMipPartition(const PipelineCostEvaluator &eval,
+                                 int max_stages,
+                                 const MipOptions &opts = {});
+
+} // namespace mobius
+
+#endif // MOBIUS_PLAN_PARTITION_MIP_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analytical Mobius-pipeline schedule evaluator.
+ *
+ * Implements the constraint system of §3.2 (Eq. 4-11) as a forward
+ * recurrence: given a partition it computes every stage's
+ * forward/backward start times under the memory constraints (Eq. 4-5),
+ * prefetch limits (Eq. 6), pipeline-order constraints (Eq. 8),
+ * weight-availability constraints (Eq. 9), per-stage microbatch
+ * serialisation (Eq. 10) and the forward/backward barrier (Eq. 11).
+ * The returned step time is the objective of the paper's MIP (Eq. 3).
+ *
+ * Communication uses the *average* GPU bandwidth B, exactly like the
+ * MIP's constant B in Table 2 — contention is deliberately not
+ * modelled here (it is handled by cross mapping and observed in the
+ * event-driven executor).
+ */
+
+#ifndef MOBIUS_PLAN_PIPELINE_COST_HH
+#define MOBIUS_PLAN_PIPELINE_COST_HH
+
+#include <string>
+#include <vector>
+
+#include "plan/partition.hh"
+
+namespace mobius
+{
+
+/** Inputs the evaluator needs beyond the cost model. */
+struct PipelineEnv
+{
+    int numGpus = 4;              //!< N
+    Bytes gpuMemBytes = 0;        //!< G, per-GPU capacity
+    double avgBandwidth = 13.1e9; //!< B, average GPU comm bandwidth
+    /**
+     * Keep the last round of forward stages resident for the
+     * backward pass when memory allows (avoids a reload bubble at
+     * the forward/backward boundary).
+     */
+    bool keepResidentTail = true;
+};
+
+/** Per-stage schedule detail of one evaluation. */
+struct StageSchedule
+{
+    double fwdStart = 0.0;  //!< t^f_{j,1}
+    double fwdEnd = 0.0;    //!< t^f_{j,M} + T^f_j
+    double bwdStart = 0.0;
+    double bwdEnd = 0.0;
+    double fwdReady = 0.0;  //!< weights fully on GPU (forward)
+    double bwdReady = 0.0;
+    Bytes prefetchedFwd = 0; //!< P^f_j actually prefetched
+    Bytes prefetchedBwd = 0;
+    bool residentForBwd = false;
+};
+
+/** Result of evaluating one partition. */
+struct PipelineEstimate
+{
+    bool feasible = false;
+    std::string infeasibleReason;
+    double stepTime = 0.0;
+    std::vector<StageSchedule> stages;
+
+    /** Communication the schedule implies (parameters both ways,
+     * activations, gradients) in bytes. */
+    Bytes commBytes = 0;
+};
+
+/** Evaluates partitions against one (model, GPU, config, server). */
+class PipelineCostEvaluator
+{
+  public:
+    PipelineCostEvaluator(const CostModel &cost, PipelineEnv env);
+
+    /** Evaluate one partition (Eq. 3-11). */
+    PipelineEstimate evaluate(const Partition &partition) const;
+
+    const PipelineEnv &env() const { return env_; }
+    const CostModel &cost() const { return *cost_; }
+
+  private:
+    const CostModel *cost_;
+    PipelineEnv env_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_PLAN_PIPELINE_COST_HH

@@ -1,0 +1,132 @@
+#include "runtime/api.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+Workload::Workload(const GptConfig &cfg, const Server &server,
+                   int microbatch_size, int num_microbatches)
+{
+    model_ = std::make_unique<ModelDesc>(makeGptModel(cfg));
+    train_.microbatchSize = microbatch_size > 0
+        ? microbatch_size
+        : cfg.microbatchSize;
+    train_.numMicrobatches = num_microbatches > 0
+        ? num_microbatches
+        : server.topo.numGpus();
+    if (server.topo.numGpus() < 1)
+        fatal("workload needs a server with at least one GPU");
+    cost_ = std::make_unique<CostModel>(
+        *model_, server.topo.gpuSpec(0), train_);
+}
+
+MobiusPlan
+planMobius(const Server &server, const CostModel &cost,
+           const PlanOptions &opts)
+{
+    MobiusPlan plan;
+    const int n = server.topo.numGpus();
+
+    // 1. Profile (layer similarity keeps this flat across depths).
+    ProfileResult prof = profileModel(cost, opts.profiler);
+    plan.profilingSeconds = prof.profilingTime;
+    plan.profiledLayers = prof.profiledLayers;
+
+    // 2. Partition via the chosen algorithm under the Eq. 3-11
+    //    objective.
+    PipelineEnv env;
+    env.numGpus = n;
+    env.gpuMemBytes = server.topo.gpuSpec(0).memBytes;
+    env.avgBandwidth =
+        opts.avgBandwidth > 0 ? opts.avgBandwidth : kPcie3x16Bw;
+    PipelineCostEvaluator eval(cost, env);
+
+    PartitionResult part;
+    switch (opts.partition) {
+      case PartitionAlgo::Mip:
+        part = mipPartition(eval);
+        break;
+      case PartitionAlgo::MinStage:
+        part = minStagePartition(eval);
+        break;
+      case PartitionAlgo::MaxStage:
+        part = maxStagePartition(eval);
+        break;
+    }
+    if (!part.estimate.feasible) {
+        fatal("%s partition infeasible: %s",
+              opts.partition == PartitionAlgo::Mip ? "MIP"
+              : opts.partition == PartitionAlgo::MinStage
+                  ? "minimum-stage"
+                  : "maximum-stage",
+              part.estimate.infeasibleReason.c_str());
+    }
+    plan.partition = std::move(part.partition);
+    plan.estimate = std::move(part.estimate);
+    plan.solveSeconds = part.solveSeconds;
+
+    // 3. Map stages to GPUs.
+    if (opts.mapping == MappingAlgo::Cross) {
+        MappingResult cross =
+            crossMapping(server.topo, plan.stageCount());
+        plan.mapping = std::move(cross.mapping);
+        plan.mappingSeconds = cross.searchSeconds;
+    } else {
+        plan.mapping =
+            sequentialMapping(server.topo, plan.stageCount());
+        plan.mappingSeconds = 0.0;
+    }
+    return plan;
+}
+
+StepStats
+runMobiusStep(const Server &server, const CostModel &cost,
+              const MobiusPlan &plan, MobiusExecutorConfig exec_cfg,
+              TransferEngineConfig xfer_cfg,
+              double cpu_adam_throughput)
+{
+    RunContext ctx(server, xfer_cfg, cpu_adam_throughput);
+    MobiusExecutor exec(ctx, cost, plan.partition, plan.mapping,
+                        exec_cfg);
+    return exec.run();
+}
+
+StepStats
+runZeroStep(const Server &server, const CostModel &cost,
+            ZeroExecutorConfig cfg, TransferEngineConfig xfer_cfg,
+            double cpu_adam_throughput)
+{
+    RunContext ctx(server, xfer_cfg, cpu_adam_throughput);
+    ZeroHeteroExecutor exec(ctx, cost, cfg);
+    return exec.run();
+}
+
+StepStats
+runTensorParallelStep(const Server &server, const CostModel &cost,
+                      TpExecutorConfig cfg,
+                      TransferEngineConfig xfer_cfg)
+{
+    RunContext ctx(server, xfer_cfg);
+    TensorParallelExecutor exec(ctx, cost, cfg);
+    return exec.run();
+}
+
+StepStats
+runPipelineStep(const Server &server, const CostModel &cost,
+                PipelineSchedule schedule,
+                TransferEngineConfig xfer_cfg)
+{
+    const int n = server.topo.numGpus();
+    Partition partition = balancedComputePartition(cost, n);
+    Mapping mapping = sequentialMapping(server.topo,
+                                        static_cast<int>(n));
+    RunContext ctx(server, xfer_cfg);
+    PipelineExecutor exec(ctx, cost, std::move(partition),
+                          std::move(mapping), schedule);
+    return exec.run();
+}
+
+} // namespace mobius

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * High-level fine-tuning API — the library's front door.
+ *
+ * Typical use:
+ * @code
+ *     Server server = makeCommodityServer({2, 2});
+ *     Workload work(gpt15b(), server);
+ *     MobiusPlan plan = planMobius(server, work.cost());
+ *     StepStats stats = runMobiusStep(server, work.cost(), plan);
+ * @endcode
+ *
+ * planMobius() runs the full §3 flow: profile with layer similarity,
+ * solve the MIP partition, search the cross mapping; its timing
+ * fields are what Fig. 12 reports. run*Step() execute one training
+ * step of Mobius or a baseline on the event-driven simulator and
+ * return the measurements behind Figs. 2 and 5-16.
+ */
+
+#ifndef MOBIUS_RUNTIME_API_HH
+#define MOBIUS_RUNTIME_API_HH
+
+#include <memory>
+
+#include "hw/server.hh"
+#include "plan/mapping.hh"
+#include "plan/partition_algos.hh"
+#include "profile/profiler.hh"
+#include "runtime/mobius_executor.hh"
+#include "runtime/pipeline_executor.hh"
+#include "runtime/tp_executor.hh"
+#include "runtime/zero_executor.hh"
+
+namespace mobius
+{
+
+/**
+ * A fine-tuning workload: owns the model description and the cost
+ * model bound to a server's GPU type.
+ */
+class Workload
+{
+  public:
+    /**
+     * @param cfg               model configuration (Table 3)
+     * @param server            target server (GPU type, count)
+     * @param microbatch_size   -1 = the config's Table 3 default
+     * @param num_microbatches  -1 = one per GPU (M = N, §3.1)
+     */
+    Workload(const GptConfig &cfg, const Server &server,
+             int microbatch_size = -1, int num_microbatches = -1);
+
+    const ModelDesc &model() const { return *model_; }
+    const CostModel &cost() const { return *cost_; }
+    const TrainConfig &train() const { return train_; }
+
+  private:
+    std::unique_ptr<ModelDesc> model_;
+    TrainConfig train_;
+    std::unique_ptr<CostModel> cost_;
+};
+
+/** Partition algorithm selector (§4.3 ablation). */
+enum class PartitionAlgo { Mip, MinStage, MaxStage };
+
+/** Stage mapping selector (§4.4 ablation). */
+enum class MappingAlgo { Cross, Sequential };
+
+/** Planning knobs. */
+struct PlanOptions
+{
+    PartitionAlgo partition = PartitionAlgo::Mip;
+    MappingAlgo mapping = MappingAlgo::Cross;
+    ProfilerConfig profiler;
+    /** Average bandwidth for the MIP's B constant; 0 = PCIe x16. */
+    double avgBandwidth = 0.0;
+};
+
+/** Output of the planning phase (§3.2/§3.3 + Fig. 12 overheads). */
+struct MobiusPlan
+{
+    Partition partition;
+    Mapping mapping;
+    PipelineEstimate estimate;       //!< analytic schedule estimate
+    double profilingSeconds = 0.0;   //!< Fig. 12 "MIP profiling"
+    double solveSeconds = 0.0;       //!< Fig. 12 "MIP solving"
+    double mappingSeconds = 0.0;     //!< Fig. 12 "cross mapping"
+    int profiledLayers = 0;
+    int stageCount() const
+    {
+        return static_cast<int>(partition.size());
+    }
+};
+
+/** Run the full planning flow for @p cost on @p server. */
+MobiusPlan planMobius(const Server &server, const CostModel &cost,
+                      const PlanOptions &opts = {});
+
+/**
+ * Execute one Mobius step (event-driven) and return measurements.
+ * @param cpu_adam_throughput CPU optimizer params/s; 0 disables the
+ *        CPU-update model (the paper's measurement window).
+ */
+StepStats runMobiusStep(const Server &server, const CostModel &cost,
+                        const MobiusPlan &plan,
+                        MobiusExecutorConfig exec_cfg = {},
+                        TransferEngineConfig xfer_cfg = {},
+                        double cpu_adam_throughput = 0.0);
+
+/** Execute one DeepSpeed-style (ZeRO-3 + hetero memory) step. */
+StepStats runZeroStep(const Server &server, const CostModel &cost,
+                      ZeroExecutorConfig cfg = {},
+                      TransferEngineConfig xfer_cfg = {},
+                      double cpu_adam_throughput = 0.0);
+
+/**
+ * Execute one Megatron-style tensor-parallel step (the related-work
+ * comparator, §5). Throws FatalError when the per-GPU weight shard
+ * does not fit.
+ */
+StepStats runTensorParallelStep(const Server &server,
+                                const CostModel &cost,
+                                TpExecutorConfig cfg = {},
+                                TransferEngineConfig xfer_cfg = {});
+
+/**
+ * Execute one all-in-GPU-memory pipeline step (GPipe or DeepSpeed
+ * pipeline mode). Throws FatalError when the model does not fit —
+ * the Fig. 5 OOM entries.
+ */
+StepStats runPipelineStep(const Server &server, const CostModel &cost,
+                          PipelineSchedule schedule,
+                          TransferEngineConfig xfer_cfg = {});
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_API_HH

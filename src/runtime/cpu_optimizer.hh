@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulated CPU-side optimizer (ZeRO-Offload-style delayed Adam).
+ *
+ * Mobius and DeepSpeed both keep FP32 master weights and Adam
+ * moments in DRAM and run the update on the CPU against the FP16
+ * gradients the GPUs flush out (§3.1). This models that stage: apply
+ * requests are serialised on the host and each takes
+ * params / throughput seconds. Updates overlap the remaining GPU
+ * work of the step (gradients arrive stage by stage), but a slow CPU
+ * lengthens the step tail — the `cpu-optimizer` ablation quantifies
+ * it.
+ *
+ * Disabled by default (throughput 0) so the communication-focused
+ * experiments match the paper's setup, where the optimizer cost is
+ * outside the measured window.
+ */
+
+#ifndef MOBIUS_RUNTIME_CPU_OPTIMIZER_HH
+#define MOBIUS_RUNTIME_CPU_OPTIMIZER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "simcore/event_queue.hh"
+#include "simcore/trace.hh"
+
+namespace mobius
+{
+
+/** Serialised CPU Adam applier. */
+class CpuOptimizer
+{
+  public:
+    /**
+     * @param throughput parameters updated per second; 0 disables
+     *                   the model (apply() completes immediately).
+     */
+    CpuOptimizer(EventQueue &queue, double throughput,
+                 TraceRecorder *trace = nullptr)
+        : queue_(queue), throughput_(throughput), trace_(trace)
+    {}
+
+    bool enabled() const { return throughput_ > 0.0; }
+
+    /** Queue an update of @p params parameters. */
+    void
+    apply(std::uint64_t params, std::string label = "adam")
+    {
+        if (!enabled())
+            return;
+        tasks_.push_back(
+            Task{static_cast<double>(params) / throughput_,
+                 std::move(label)});
+        if (!busy_)
+            startNext();
+    }
+
+    double busyTime() const { return busyTime_; }
+    bool idle() const { return !busy_ && tasks_.empty(); }
+
+  private:
+    struct Task
+    {
+        double duration;
+        std::string label;
+    };
+
+    void
+    startNext()
+    {
+        if (busy_ || tasks_.empty())
+            return;
+        busy_ = true;
+        Task task = std::move(tasks_.front());
+        tasks_.pop_front();
+        busyTime_ += task.duration;
+        double start = queue_.now();
+        queue_.scheduleAfter(
+            task.duration,
+            [this, start, label = std::move(task.label)] {
+                if (trace_) {
+                    trace_->record(TraceSpan{"cpu.optim", label,
+                                             "optimizer", start,
+                                             queue_.now()});
+                }
+                busy_ = false;
+                startNext();
+            });
+    }
+
+    EventQueue &queue_;
+    double throughput_;
+    TraceRecorder *trace_;
+    bool busy_ = false;
+    double busyTime_ = 0.0;
+    std::deque<Task> tasks_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_CPU_OPTIMIZER_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-GPU memory ledger. Executors account every byte they place on a
+ * device; exceeding the capacity is a hard failure (the "OOM" rows of
+ * Fig. 5 come from PipelineExecutor hitting exactly this).
+ */
+
+#ifndef MOBIUS_RUNTIME_GPU_MEMORY_HH
+#define MOBIUS_RUNTIME_GPU_MEMORY_HH
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace mobius
+{
+
+/** Byte ledger for one GPU. */
+class GpuMemory
+{
+  public:
+    explicit GpuMemory(Bytes capacity) : capacity_(capacity) {}
+
+    Bytes capacity() const { return capacity_; }
+    Bytes used() const { return used_; }
+    Bytes available() const { return capacity_ - used_; }
+    Bytes peak() const { return peak_; }
+
+    /** @return true and allocate when @p bytes fit, false otherwise. */
+    bool
+    tryAlloc(Bytes bytes)
+    {
+        if (bytes > available())
+            return false;
+        used_ += bytes;
+        peak_ = std::max(peak_, used_);
+        return true;
+    }
+
+    /** Allocate or die: callers must have validated fit. */
+    void
+    alloc(Bytes bytes)
+    {
+        if (!tryAlloc(bytes)) {
+            fatal("GPU out of memory: requested %s with %s free of %s",
+                  formatBytes(bytes).c_str(),
+                  formatBytes(available()).c_str(),
+                  formatBytes(capacity_).c_str());
+        }
+    }
+
+    void
+    free(Bytes bytes)
+    {
+        if (bytes > used_)
+            panic("freeing %llu bytes but only %llu allocated",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(used_));
+        used_ -= bytes;
+    }
+
+  private:
+    Bytes capacity_;
+    Bytes used_ = 0;
+    Bytes peak_ = 0;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_GPU_MEMORY_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * All-in-GPU-memory pipeline parallelism: the GPipe baseline and the
+ * 1F1B schedule used by DeepSpeed's pipeline mode (§4 baselines).
+ *
+ * One stage per GPU, weights + optimizer states resident (16 B per
+ * parameter), activation checkpoints kept on-device. Models that do
+ * not fit raise FatalError — the OOM entries of Fig. 5. Only boundary
+ * activations and their gradients cross the interconnect.
+ */
+
+#ifndef MOBIUS_RUNTIME_PIPELINE_EXECUTOR_HH
+#define MOBIUS_RUNTIME_PIPELINE_EXECUTOR_HH
+
+#include <deque>
+#include <vector>
+
+#include "plan/mapping.hh"
+#include "plan/partition.hh"
+#include "runtime/run_context.hh"
+
+namespace mobius
+{
+
+/** Microbatch schedule flavour. */
+enum class PipelineSchedule
+{
+    GPipe,     //!< all forwards, then all backwards
+    OneFOneB,  //!< 1F1B steady state (DeepSpeed pipeline mode)
+};
+
+/** Runs one all-in-GPU-memory pipeline step. */
+class PipelineExecutor
+{
+  public:
+    PipelineExecutor(RunContext &ctx, const CostModel &cost,
+                     Partition partition, Mapping mapping,
+                     PipelineSchedule schedule);
+
+    StepStats run();
+
+  private:
+    struct StageState
+    {
+        double tFwd = 0.0, tBwd = 0.0;
+        Bytes aOutBytes = 0;
+        int gpu = -1;
+        int nextFwdMb = 0;
+        int nextBwdMb = 0;
+        int fwdDone = 0;
+        int bwdDone = 0;
+        std::vector<bool> actReady;
+        std::vector<bool> gradReady;
+    };
+
+    bool fwdReady(int stage) const;
+    bool bwdReady(int stage) const;
+    void schedule(int gpu);
+    void onFwdCompute(int stage, int mb);
+    void onBwdCompute(int stage, int mb);
+
+    RunContext &ctx_;
+    const CostModel &cost_;
+    Partition partition_;
+    Mapping mapping_;
+    PipelineSchedule schedule_;
+    int S_ = 0;
+    int M_ = 0;
+
+    std::vector<StageState> stages_;
+    std::vector<bool> gpuBusy_;
+    /** stageOfGpu_[g] = stage index resident on GPU g. */
+    std::vector<int> stageOfGpu_;
+};
+
+/** @return printable label ("GPipe" / "DeepSpeed-pipeline"). */
+const char *pipelineScheduleName(PipelineSchedule schedule);
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_PIPELINE_EXECUTOR_HH

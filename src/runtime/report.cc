@@ -1,0 +1,81 @@
+#include "runtime/report.hh"
+
+#include <sstream>
+
+namespace mobius
+{
+
+std::string
+stepStatsToJson(const StepStats &stats, Bytes model_bytes_fp32)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\"system\":\"" << stats.system << "\""
+       << ",\"step_seconds\":" << stats.stepTime
+       << ",\"num_gpus\":" << stats.numGpus
+       << ",\"traffic_bytes\":" << stats.traffic.totalBytes()
+       << ",\"compute_seconds\":" << stats.computeTime
+       << ",\"exposed_comm_seconds\":" << stats.exposedCommTime
+       << ",\"overlapped_comm_seconds\":"
+       << stats.overlappedCommTime
+       << ",\"exposed_comm_fraction\":"
+       << stats.exposedCommFraction();
+    if (model_bytes_fp32 > 0) {
+        os << ",\"model_bytes_fp32\":" << model_bytes_fp32
+           << ",\"traffic_ratio\":"
+           << stats.trafficRatio(model_bytes_fp32);
+    }
+    os << ",\"traffic\":{";
+    bool first = true;
+    for (auto kind :
+         {TrafficKind::Parameter, TrafficKind::Activation,
+          TrafficKind::ActivationGrad, TrafficKind::Gradient}) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << trafficKindName(kind)
+           << "\":" << stats.traffic.bytesOf(kind);
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+planToJson(const MobiusPlan &plan)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\"stages\":[";
+    for (std::size_t j = 0; j < plan.partition.size(); ++j) {
+        if (j)
+            os << ",";
+        os << "{\"lo\":" << plan.partition[j].lo
+           << ",\"hi\":" << plan.partition[j].hi
+           << ",\"gpu\":" << plan.mapping.gpuOf(static_cast<int>(j))
+           << "}";
+    }
+    os << "],\"gpu_order\":[";
+    for (std::size_t g = 0; g < plan.mapping.gpuOrder.size(); ++g) {
+        if (g)
+            os << ",";
+        os << plan.mapping.gpuOrder[g];
+    }
+    os << "],\"contention_degree\":" << plan.mapping.contention
+       << ",\"estimate_seconds\":" << plan.estimate.stepTime
+       << ",\"profiling_seconds\":" << plan.profilingSeconds
+       << ",\"solve_seconds\":" << plan.solveSeconds
+       << ",\"mapping_seconds\":" << plan.mappingSeconds << "}";
+    return os.str();
+}
+
+FineTuneEstimate
+estimateFineTune(const Server &server, double step_seconds,
+                 int steps)
+{
+    FineTuneEstimate est;
+    est.hours = step_seconds * steps / 3600.0;
+    est.dollars = est.hours * server.dollarsPerHour;
+    return est;
+}
+
+} // namespace mobius

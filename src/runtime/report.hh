@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine-readable reporting: StepStats and plans serialised as JSON
+ * for downstream analysis (plotting, CI regression checks).
+ */
+
+#ifndef MOBIUS_RUNTIME_REPORT_HH
+#define MOBIUS_RUNTIME_REPORT_HH
+
+#include <string>
+
+#include "runtime/api.hh"
+
+namespace mobius
+{
+
+/** Serialise one step's measurements as a JSON object. */
+std::string stepStatsToJson(const StepStats &stats,
+                            Bytes model_bytes_fp32 = 0);
+
+/** Serialise a Mobius plan (partition, mapping, overheads). */
+std::string planToJson(const MobiusPlan &plan);
+
+/**
+ * Fine-tuning cost estimate: wall-clock and dollars for @p steps
+ * training steps at @p step_seconds per step on @p server.
+ */
+struct FineTuneEstimate
+{
+    double hours = 0.0;
+    double dollars = 0.0;
+};
+
+FineTuneEstimate estimateFineTune(const Server &server,
+                                  double step_seconds, int steps);
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_REPORT_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Everything one simulated training step runs on: the event queue,
+ * the transfer engine over the server's topology, one compute engine
+ * and one memory ledger per GPU, and the usage tracker feeding Fig. 8.
+ */
+
+#ifndef MOBIUS_RUNTIME_RUN_CONTEXT_HH
+#define MOBIUS_RUNTIME_RUN_CONTEXT_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/server.hh"
+#include "runtime/cpu_optimizer.hh"
+#include "runtime/gpu_memory.hh"
+#include "runtime/step_stats.hh"
+#include "xfer/compute_engine.hh"
+#include "xfer/transfer_engine.hh"
+
+namespace mobius
+{
+
+/** Simulation context for one step on one server. */
+class RunContext
+{
+  public:
+    explicit RunContext(const Server &server,
+                        TransferEngineConfig xfer_cfg = {},
+                        double cpu_adam_throughput = 0.0)
+        : server_(&server),
+          usage_(queue_, server.topo.numGpus()),
+          xfer_(queue_, server.topo, &usage_, xfer_cfg, &trace_),
+          cpuOptimizer_(queue_, cpu_adam_throughput, &trace_)
+    {
+        for (int g = 0; g < server.topo.numGpus(); ++g) {
+            compute_.push_back(std::make_unique<ComputeEngine>(
+                queue_, &usage_, g, &trace_));
+            memory_.push_back(std::make_unique<GpuMemory>(
+                server.topo.gpuSpec(g).memBytes));
+        }
+    }
+
+    const Server &server() const { return *server_; }
+    int numGpus() const { return server_->topo.numGpus(); }
+
+    EventQueue &queue() { return queue_; }
+    UsageTracker &usage() { return usage_; }
+    TraceRecorder &trace() { return trace_; }
+    TransferEngine &xfer() { return xfer_; }
+    CpuOptimizer &cpuOptimizer() { return cpuOptimizer_; }
+    ComputeEngine &compute(int gpu) { return *compute_[gpu]; }
+    GpuMemory &memory(int gpu) { return *memory_[gpu]; }
+
+    /**
+     * Drain the event queue and collect the step's statistics.
+     * @param system label recorded in the stats.
+     */
+    StepStats
+    finish(const std::string &system)
+    {
+        queue_.run();
+        StepStats stats;
+        stats.system = system;
+        stats.stepTime = queue_.now();
+        stats.numGpus = numGpus();
+        stats.traffic = xfer_.stats();
+        for (int g = 0; g < numGpus(); ++g) {
+            stats.computeTime += usage_.computeTime(g);
+            stats.exposedCommTime += usage_.exposedCommTime(g);
+            stats.overlappedCommTime += usage_.overlappedCommTime(g);
+        }
+        return stats;
+    }
+
+  private:
+    const Server *server_;
+    EventQueue queue_;
+    TraceRecorder trace_;
+    UsageTracker usage_;
+    TransferEngine xfer_;
+    CpuOptimizer cpuOptimizer_;
+    std::vector<std::unique_ptr<ComputeEngine>> compute_;
+    std::vector<std::unique_ptr<GpuMemory>> memory_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_RUN_CONTEXT_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Megatron-style tensor (model) parallelism baseline — the "model
+ * parallelism" alternative of the paper's related-work discussion
+ * (§5), provided as an extra comparator beyond the paper's own
+ * baselines.
+ *
+ * Every layer is sharded across all GPUs (weights and gradients
+ * resident, 1/N each; the optimizer state lives in DRAM as in the
+ * other systems). Each microbatch runs forward and then backward
+ * through the whole model in lockstep; a transformer block costs two
+ * activation all-reduces in the forward and two in the backward
+ * pass. On commodity servers those collectives are staged through
+ * the CPU root complexes; and the per-GPU weight shard must fit in
+ * device memory, which bounds the trainable scale (the 51B model
+ * OOMs on 24 GB GPUs).
+ */
+
+#ifndef MOBIUS_RUNTIME_TP_EXECUTOR_HH
+#define MOBIUS_RUNTIME_TP_EXECUTOR_HH
+
+#include <vector>
+
+#include "model/cost_model.hh"
+#include "runtime/run_context.hh"
+
+namespace mobius
+{
+
+/** Tensor-parallel executor tunables. */
+struct TpExecutorConfig
+{
+    /**
+     * Relative compute efficiency of N-way sharded GEMMs (narrow
+     * matrices waste tensor-core tiles).
+     */
+    double shardEfficiency = 0.8;
+    /** All-reduces per transformer block, forward (Megatron: 2). */
+    int allReducesPerBlock = 2;
+    int prioCollective = 1;
+    int prioGradient = 20;
+};
+
+/** Runs one tensor-parallel training step. */
+class TensorParallelExecutor
+{
+  public:
+    TensorParallelExecutor(RunContext &ctx, const CostModel &cost,
+                           TpExecutorConfig cfg = {});
+
+    StepStats run();
+
+  private:
+    /**
+     * Slot sequence per microbatch: forward layers 0..L-1 then
+     * backward layers L-1..0; microbatches run back to back.
+     * slot = m * 2L + (k in [0, 2L)).
+     */
+    int slotLayer(int slot) const;
+    bool slotIsBwd(int slot) const;
+
+    Bytes collectiveBytes(int layer) const;
+    void startCompute(int gpu);
+    void onCompute(int gpu, int slot);
+    void onPiece(int gpu, int slot);
+
+    RunContext &ctx_;
+    const CostModel &cost_;
+    TpExecutorConfig cfg_;
+    int numLayers_ = 0;
+    int slots_ = 0;
+
+    struct GpuState
+    {
+        int slot = 0;              //!< next/current slot
+        bool computing = false;
+        bool computeDone = false;  //!< this slot's compute finished
+        int piecesLeft = 0;        //!< collective pieces outstanding
+    };
+
+    std::vector<GpuState> gpus_;
+    /** sent_[slot][src * N + dst] piece submitted. */
+    std::vector<std::vector<bool>> sent_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_RUNTIME_TP_EXECUTOR_HH

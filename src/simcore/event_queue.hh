@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The engine keeps a time-ordered queue of callbacks. Components (copy
+ * engines, compute engines, the fluid-flow rate solver) schedule events
+ * at absolute simulated times; ties are broken by insertion order so the
+ * simulation is fully deterministic. Events can be cancelled — the
+ * transfer engine rescheduls flow-completion events whenever the set of
+ * active flows (and therefore every flow's fair-share rate) changes.
+ */
+
+#ifndef MOBIUS_SIMCORE_EVENT_QUEUE_HH
+#define MOBIUS_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace mobius
+{
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/** Handle used to cancel a scheduled event. 0 is "no event". */
+using EventId = std::uint64_t;
+
+constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events at equal times fire in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** @return the current simulated time in seconds. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now()).
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(SimTime when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay seconds from now. */
+    EventId
+    scheduleAfter(SimTime delay, std::function<void()> fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event existed and was removed.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Fire events until the queue is empty. */
+    void run();
+
+    /**
+     * Fire events with time <= @p until, then advance the clock to
+     * @p until (even if the queue empties earlier).
+     */
+    void runUntil(SimTime until);
+
+    /** @return total number of events ever executed. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Key
+    {
+        SimTime when;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &other) const
+        {
+            if (when != other.when)
+                return when < other.when;
+            return seq < other.seq;
+        }
+    };
+
+    SimTime now_ = 0.0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t executed_ = 0;
+    std::map<Key, std::function<void()>> events_;
+    std::map<EventId, Key> keys_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_SIMCORE_EVENT_QUEUE_HH

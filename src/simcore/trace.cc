@@ -1,0 +1,141 @@
+#include "simcore/trace.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace mobius
+{
+
+std::vector<TraceSpan>
+TraceRecorder::onTrack(const std::string &track) const
+{
+    std::vector<TraceSpan> out;
+    for (const auto &s : spans_) {
+        if (s.track == track)
+            out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  return a.start < b.start;
+              });
+    return out;
+}
+
+std::vector<TraceSpan>
+TraceRecorder::named(const std::string &name) const
+{
+    std::vector<TraceSpan> out;
+    for (const auto &s : spans_) {
+        if (s.name == name)
+            out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  return a.start < b.start;
+              });
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    // Stable process id 1; one thread id per track.
+    std::map<std::string, int> tids;
+    for (const auto &s : spans_) {
+        if (!tids.count(s.track))
+            tids.emplace(s.track,
+                         static_cast<int>(tids.size()) + 1);
+    }
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[track, tid] : tids) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << jsonEscape(track) << "\"}}";
+    }
+    for (const auto &s : spans_) {
+        os << ",{\"name\":\"" << jsonEscape(s.name)
+           << "\",\"cat\":\"" << jsonEscape(s.category)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << tids.at(s.track) << ",\"ts\":" << s.start * 1e6
+           << ",\"dur\":" << s.duration() * 1e6 << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+TraceRecorder::toAsciiGantt(int width) const
+{
+    if (spans_.empty())
+        return "(empty trace)\n";
+    if (width < 10)
+        panic("gantt width too small");
+
+    SimTime t0 = spans_.front().start;
+    SimTime t1 = spans_.front().end;
+    std::size_t track_w = 0;
+    std::map<std::string, int> tracks;
+    for (const auto &s : spans_) {
+        t0 = std::min(t0, s.start);
+        t1 = std::max(t1, s.end);
+        tracks.emplace(s.track, 0);
+        track_w = std::max(track_w, s.track.size());
+    }
+    double span = std::max(t1 - t0, 1e-12);
+
+    std::map<std::string, std::string> rows;
+    for (auto &[track, _] : tracks)
+        rows[track] = std::string(static_cast<std::size_t>(width),
+                                  '.');
+    for (const auto &s : spans_) {
+        int lo = static_cast<int>((s.start - t0) / span *
+                                  (width - 1));
+        int hi = static_cast<int>((s.end - t0) / span * (width - 1));
+        char mark = s.category == "compute" ? '#' : '=';
+        char head = s.name.empty() ? mark : s.name[0];
+        auto &row = rows[s.track];
+        for (int i = lo; i <= hi && i < width; ++i)
+            row[i] = i == lo ? head : mark;
+    }
+
+    std::ostringstream os;
+    os << strfmt("time range: %s .. %s\n",
+                 formatSeconds(t0).c_str(),
+                 formatSeconds(t1).c_str());
+    for (const auto &[track, row] : rows) {
+        os << track
+           << std::string(track_w + 1 - track.size(), ' ') << "|"
+           << row << "|\n";
+    }
+    os << "('#'/letter = compute span, '=' = transfer span)\n";
+    return os.str();
+}
+
+} // namespace mobius

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Execution trace recording.
+ *
+ * Executors and engines emit spans (named intervals on a track, e.g.
+ * "gpu0.compute" or "gpu2.h2d"); the recorder can export Chrome
+ * tracing JSON (load in chrome://tracing or Perfetto) and render an
+ * ASCII Gantt chart. Tests also use traces to assert schedule
+ * invariants — e.g. that the executed Mobius pipeline satisfies the
+ * paper's pipeline-order constraints (Eq. 8-11).
+ */
+
+#ifndef MOBIUS_SIMCORE_TRACE_HH
+#define MOBIUS_SIMCORE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "simcore/event_queue.hh"
+
+namespace mobius
+{
+
+/** One traced interval. */
+struct TraceSpan
+{
+    std::string track;     //!< e.g. "gpu0.compute"
+    std::string name;      //!< e.g. "F3,2" or "load S5"
+    std::string category;  //!< "compute" | "transfer" | ...
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+
+    double duration() const { return end - start; }
+};
+
+/** Collects spans during a simulated run. */
+class TraceRecorder
+{
+  public:
+    /** Record a completed span. */
+    void
+    record(TraceSpan span)
+    {
+        spans_.push_back(std::move(span));
+    }
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    bool empty() const { return spans_.empty(); }
+    void clear() { spans_.clear(); }
+
+    /** Spans on one track, in start order. */
+    std::vector<TraceSpan> onTrack(const std::string &track) const;
+
+    /** Spans whose name matches exactly, in start order. */
+    std::vector<TraceSpan> named(const std::string &name) const;
+
+    /**
+     * Serialise as Chrome tracing JSON ("traceEvents" array of
+     * complete events; microsecond timestamps).
+     */
+    std::string toChromeJson() const;
+
+    /**
+     * Render an ASCII Gantt chart, one row per track, @p width
+     * characters across the full simulated time range.
+     */
+    std::string toAsciiGantt(int width = 72) const;
+
+  private:
+    std::vector<TraceSpan> spans_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_SIMCORE_TRACE_HH

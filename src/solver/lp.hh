@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small dense linear-programming solver (two-phase simplex).
+ *
+ * The paper solves its partition MIP with Gurobi (§3.2). This module
+ * is the from-scratch replacement: an LP solver used as the relaxation
+ * engine of the branch-and-bound MIP in solver/mip.hh.
+ *
+ * Problems are given in the general form
+ *     minimize    c^T x
+ *     subject to  a_i^T x (<= | = | >=) b_i      for each row i
+ *                 lb_j <= x_j <= ub_j            for each variable j
+ * with lb defaulting to 0 and ub to +infinity.
+ *
+ * The implementation favours robustness over speed (Bland's rule to
+ * prevent cycling); the MIPs solved here are small.
+ */
+
+#ifndef MOBIUS_SOLVER_LP_HH
+#define MOBIUS_SOLVER_LP_HH
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mobius
+{
+
+constexpr double kLpInf = std::numeric_limits<double>::infinity();
+
+/** Constraint sense. */
+enum class Sense { Le, Ge, Eq };
+
+/** One linear constraint: sparse coefficients, sense, rhs. */
+struct LpRow
+{
+    std::vector<std::pair<int, double>> coeffs;
+    Sense sense = Sense::Le;
+    double rhs = 0.0;
+};
+
+/** An LP in general form. */
+struct LpProblem
+{
+    int numVars = 0;
+    std::vector<double> objective;  //!< c, size numVars
+    std::vector<LpRow> rows;
+    std::vector<double> lower;      //!< size numVars (default 0)
+    std::vector<double> upper;      //!< size numVars (default +inf)
+
+    /** @return index of a fresh variable with bounds [lb, ub]. */
+    int addVar(double coeff, double lb = 0.0, double ub = kLpInf);
+
+    /** Append a constraint. */
+    void addRow(std::vector<std::pair<int, double>> coeffs,
+                Sense sense, double rhs);
+};
+
+/** Outcome of an LP solve. */
+struct LpSolution
+{
+    enum class Status { Optimal, Infeasible, Unbounded };
+
+    Status status = Status::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+
+    bool ok() const { return status == Status::Optimal; }
+};
+
+/** Solve @p problem with two-phase simplex. */
+LpSolution solveLp(const LpProblem &problem);
+
+/** @return printable name of a solution status. */
+std::string lpStatusName(LpSolution::Status status);
+
+} // namespace mobius
+
+#endif // MOBIUS_SOLVER_LP_HH

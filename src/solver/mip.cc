@@ -1,0 +1,122 @@
+#include "solver/mip.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+namespace
+{
+
+/** One branch-and-bound node: bound overrides for the LP. */
+struct Node
+{
+    std::vector<double> lower;
+    std::vector<double> upper;
+};
+
+} // namespace
+
+MipSolution
+solveMip(const MipProblem &problem, const MipOptions &options)
+{
+    MipSolution best;
+    if (static_cast<int>(problem.integer.size()) !=
+        problem.lp.numVars) {
+        panic("MIP integrality marks inconsistent with numVars");
+    }
+
+    std::vector<Node> stack;
+    stack.push_back(Node{problem.lp.lower, problem.lp.upper});
+
+    bool have_incumbent = false;
+    bool exhausted = true;
+
+    while (!stack.empty()) {
+        if (best.nodesExplored >= options.maxNodes) {
+            exhausted = false;
+            break;
+        }
+        Node node = std::move(stack.back());
+        stack.pop_back();
+        ++best.nodesExplored;
+
+        LpProblem relax = problem.lp;
+        relax.lower = node.lower;
+        relax.upper = node.upper;
+        LpSolution lp = solveLp(relax);
+
+        if (lp.status == LpSolution::Status::Infeasible)
+            continue;
+        if (lp.status == LpSolution::Status::Unbounded) {
+            // An unbounded relaxation at the root means the MIP is
+            // unbounded (or needs bounds we don't have).
+            best.status = MipSolution::Status::Unbounded;
+            return best;
+        }
+        if (have_incumbent &&
+            lp.objective >= best.objective - options.gapTol) {
+            continue; // bound: cannot beat the incumbent
+        }
+
+        // Find the most fractional integer variable.
+        int branch_var = -1;
+        double branch_frac = 0.0;
+        for (int j = 0; j < problem.lp.numVars; ++j) {
+            if (!problem.integer[j])
+                continue;
+            double v = lp.x[j];
+            double frac = v - std::floor(v);
+            double dist = std::min(frac, 1.0 - frac);
+            if (dist > options.integralityTol && dist > branch_frac) {
+                branch_var = j;
+                branch_frac = dist;
+            }
+        }
+
+        if (branch_var < 0) {
+            // Integral: candidate incumbent.
+            if (!have_incumbent ||
+                lp.objective < best.objective - options.gapTol) {
+                have_incumbent = true;
+                best.objective = lp.objective;
+                best.x = lp.x;
+                // Snap integer variables exactly.
+                for (int j = 0; j < problem.lp.numVars; ++j) {
+                    if (problem.integer[j])
+                        best.x[j] = std::round(best.x[j]);
+                }
+            }
+            continue;
+        }
+
+        double v = lp.x[branch_var];
+        double fl = std::floor(v);
+
+        // Push the "up" branch first so the "down" branch (often the
+        // cheaper one for minimisation) is explored first (LIFO).
+        Node up = node;
+        up.lower[branch_var] = fl + 1.0;
+        if (up.lower[branch_var] <= up.upper[branch_var] + 1e-12)
+            stack.push_back(std::move(up));
+
+        Node down = std::move(node);
+        down.upper[branch_var] = fl;
+        if (down.lower[branch_var] <= down.upper[branch_var] + 1e-12)
+            stack.push_back(std::move(down));
+    }
+
+    if (!have_incumbent) {
+        best.status = exhausted ? MipSolution::Status::Infeasible
+                                : MipSolution::Status::Infeasible;
+        return best;
+    }
+    best.status = exhausted ? MipSolution::Status::Optimal
+                            : MipSolution::Status::Feasible;
+    return best;
+}
+
+} // namespace mobius

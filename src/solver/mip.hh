@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Branch-and-bound mixed-integer programming on top of the simplex LP
+ * solver — the in-tree replacement for the Gurobi dependency of the
+ * paper's §3.2.
+ *
+ * Any subset of variables can be marked integer; branching is on the
+ * most fractional integer variable; nodes are explored depth-first
+ * (smaller branch first) and pruned against the incumbent.
+ */
+
+#ifndef MOBIUS_SOLVER_MIP_HH
+#define MOBIUS_SOLVER_MIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/lp.hh"
+
+namespace mobius
+{
+
+/** A MIP: an LP plus integrality marks. */
+struct MipProblem
+{
+    LpProblem lp;
+    std::vector<bool> integer;  //!< size lp.numVars
+
+    /** @return index of a fresh integer variable. */
+    int
+    addIntVar(double coeff, double lb, double ub)
+    {
+        int idx = lp.addVar(coeff, lb, ub);
+        integer.resize(static_cast<std::size_t>(lp.numVars), false);
+        integer[idx] = true;
+        return idx;
+    }
+
+    /** @return index of a fresh binary variable. */
+    int addBoolVar(double coeff) { return addIntVar(coeff, 0.0, 1.0); }
+
+    /** @return index of a fresh continuous variable. */
+    int
+    addVar(double coeff, double lb = 0.0, double ub = kLpInf)
+    {
+        int idx = lp.addVar(coeff, lb, ub);
+        integer.resize(static_cast<std::size_t>(lp.numVars), false);
+        return idx;
+    }
+};
+
+/** Branch-and-bound options. */
+struct MipOptions
+{
+    std::uint64_t maxNodes = 200000;  //!< search budget
+    double integralityTol = 1e-6;
+    double gapTol = 1e-9;             //!< absolute pruning slack
+};
+
+/** Outcome of a MIP solve. */
+struct MipSolution
+{
+    enum class Status
+    {
+        Optimal,      //!< proven optimal
+        Feasible,     //!< node budget hit; best incumbent returned
+        Infeasible,
+        Unbounded,
+    };
+
+    Status status = Status::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+    std::uint64_t nodesExplored = 0;
+
+    bool
+    ok() const
+    {
+        return status == Status::Optimal ||
+            status == Status::Feasible;
+    }
+};
+
+/** Solve @p problem by branch and bound. */
+MipSolution solveMip(const MipProblem &problem,
+                     const MipOptions &options = {});
+
+} // namespace mobius
+
+#endif // MOBIUS_SOLVER_MIP_HH

@@ -1,0 +1,654 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+std::int64_t
+shapeNumel(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (int d : shape)
+        n *= d;
+    return n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(shape[i]);
+    }
+    return s + "]";
+}
+
+std::vector<float> &
+TensorImpl::gradRef()
+{
+    if (grad.size() != data.size())
+        grad.assign(data.size(), 0.0f);
+    return grad;
+}
+
+Tensor::Tensor(Shape shape, bool requires_grad)
+{
+    impl_ = std::make_shared<TensorImpl>();
+    impl_->data.assign(static_cast<std::size_t>(shapeNumel(shape)),
+                       0.0f);
+    impl_->shape = std::move(shape);
+    impl_->requiresGrad = requires_grad;
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data,
+               bool requires_grad)
+{
+    if (shapeNumel(shape) != static_cast<std::int64_t>(data.size()))
+        panic("tensor data size %zu does not match shape %s",
+              data.size(), shapeToString(shape).c_str());
+    impl_ = std::make_shared<TensorImpl>();
+    impl_->shape = std::move(shape);
+    impl_->data = std::move(data);
+    impl_->requiresGrad = requires_grad;
+}
+
+void
+Tensor::zeroGrad()
+{
+    auto &g = impl_->gradRef();
+    std::fill(g.begin(), g.end(), 0.0f);
+}
+
+void
+Tensor::backward(const std::vector<float> *seed) const
+{
+    // Topological order over the parent DAG.
+    std::vector<TensorImpl *> topo;
+    std::unordered_set<TensorImpl *> seen;
+    std::vector<std::pair<TensorImpl *, std::size_t>> stack;
+    stack.push_back({impl_.get(), 0});
+    seen.insert(impl_.get());
+    while (!stack.empty()) {
+        auto &[node, idx] = stack.back();
+        if (idx < node->parents.size()) {
+            TensorImpl *p = node->parents[idx].get();
+            ++idx;
+            if (seen.insert(p).second)
+                stack.push_back({p, 0});
+        } else {
+            topo.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    auto &g = impl_->gradRef();
+    if (seed) {
+        if (seed->size() != g.size())
+            panic("backward seed size mismatch");
+        for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] += (*seed)[i];
+    } else {
+        std::fill(g.begin(), g.end(), 1.0f);
+    }
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        if ((*it)->backwardFn)
+            (*it)->backwardFn(**it);
+    }
+}
+
+Tensor
+Tensor::detachAsLeaf() const
+{
+    Tensor t(impl_->shape, impl_->data, true);
+    return t;
+}
+
+namespace
+{
+
+/** Make the output impl of an op with given parents. */
+std::shared_ptr<TensorImpl>
+makeOut(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents)
+{
+    auto out = std::make_shared<TensorImpl>();
+    out->data.assign(static_cast<std::size_t>(shapeNumel(shape)),
+                     0.0f);
+    out->shape = std::move(shape);
+    out->parents = std::move(parents);
+    return out;
+}
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    if (a.shape() != b.shape())
+        panic("%s: shape mismatch %s vs %s", op,
+              shapeToString(a.shape()).c_str(),
+              shapeToString(b.shape()).c_str());
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    auto out = makeOut(a.shape(), {a.impl(), b.impl()});
+    const auto &ad = a.data();
+    const auto &bd = b.data();
+    for (std::size_t i = 0; i < ad.size(); ++i)
+        out->data[i] = ad[i] + bd[i];
+    out->backwardFn = [](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        auto &gb = self.parents[1]->gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            ga[i] += self.grad[i];
+            gb[i] += self.grad[i];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+addRowBroadcast(const Tensor &a, const Tensor &bias)
+{
+    int n = bias.dim(0);
+    if (a.numel() % n != 0)
+        panic("addRowBroadcast: %lld elements not divisible by %d",
+              static_cast<long long>(a.numel()), n);
+    auto out = makeOut(a.shape(), {a.impl(), bias.impl()});
+    const auto &ad = a.data();
+    const auto &bd = bias.data();
+    for (std::size_t i = 0; i < ad.size(); ++i)
+        out->data[i] = ad[i] + bd[i % n];
+    out->backwardFn = [n](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        auto &gb = self.parents[1]->gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            ga[i] += self.grad[i];
+            gb[i % n] += self.grad[i];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    auto out = makeOut(a.shape(), {a.impl(), b.impl()});
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        out->data[i] = a.data()[i] - b.data()[i];
+    out->backwardFn = [](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        auto &gb = self.parents[1]->gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            ga[i] += self.grad[i];
+            gb[i] -= self.grad[i];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    auto out = makeOut(a.shape(), {a.impl(), b.impl()});
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        out->data[i] = a.data()[i] * b.data()[i];
+    out->backwardFn = [](TensorImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        auto &ga = pa.gradRef();
+        auto &gb = pb.gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            ga[i] += self.grad[i] * pb.data[i];
+            gb[i] += self.grad[i] * pa.data[i];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    auto out = makeOut(a.shape(), {a.impl()});
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        out->data[i] = a.data()[i] * s;
+    out->backwardFn = [s](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i] * s;
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+gelu(const Tensor &a)
+{
+    auto out = makeOut(a.shape(), {a.impl()});
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        float x = a.data()[i];
+        float t = std::tanh(k * (x + 0.044715f * x * x * x));
+        out->data[i] = 0.5f * x * (1.0f + t);
+    }
+    out->backwardFn = [](TensorImpl &self) {
+        constexpr float kk = 0.7978845608028654f;
+        auto &pa = *self.parents[0];
+        auto &ga = pa.gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            float x = pa.data[i];
+            float u = kk * (x + 0.044715f * x * x * x);
+            float t = std::tanh(u);
+            float du = kk * (1.0f + 3.0f * 0.044715f * x * x);
+            float d =
+                0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+            ga[i] += self.grad[i] * d;
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    auto out = makeOut(a.shape(), {a.impl()});
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        out->data[i] = std::max(0.0f, a.data()[i]);
+    out->backwardFn = [](TensorImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &ga = pa.gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            if (pa.data[i] > 0)
+                ga[i] += self.grad[i];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+reshape(const Tensor &a, Shape shape)
+{
+    if (shapeNumel(shape) != a.numel())
+        panic("reshape: %lld elements into shape %s",
+              static_cast<long long>(a.numel()),
+              shapeToString(shape).c_str());
+    auto out = makeOut(std::move(shape), {a.impl()});
+    out->data = a.data();
+    out->backwardFn = [](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i];
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+meanAll(const Tensor &a)
+{
+    auto out = makeOut(Shape{1}, {a.impl()});
+    double sum = 0.0;
+    for (float v : a.data())
+        sum += v;
+    std::size_t n = a.data().size();
+    out->data[0] = static_cast<float>(sum / static_cast<double>(n));
+    out->backwardFn = [n](TensorImpl &self) {
+        auto &ga = self.parents[0]->gradRef();
+        float g = self.grad[0] / static_cast<float>(n);
+        for (auto &v : ga)
+            v += g;
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    if (b.rank() != 2)
+        panic("matmul: rhs must be rank 2, got %s",
+              shapeToString(b.shape()).c_str());
+    int k = b.dim(0);
+    int n = b.dim(1);
+    if (a.dim(a.rank() - 1) != k)
+        panic("matmul: inner dims %d vs %d",
+              a.dim(a.rank() - 1), k);
+    int m = static_cast<int>(a.numel() / k);
+
+    Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+    out_shape.push_back(n);
+    auto out = makeOut(std::move(out_shape), {a.impl(), b.impl()});
+
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *od = out->data.data();
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            float av = ad[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = bd + kk * n;
+            float *orow = od + i * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+    out->backwardFn = [m, k, n](TensorImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        auto &ga = pa.gradRef();
+        auto &gb = pb.gradRef();
+        const float *g = self.grad.data();
+        const float *ad2 = pa.data.data();
+        const float *bd2 = pb.data.data();
+        // dA = g . B^T
+        for (int i = 0; i < m; ++i) {
+            for (int kk = 0; kk < k; ++kk) {
+                float acc = 0.0f;
+                const float *grow = g + i * n;
+                const float *brow = bd2 + kk * n;
+                for (int j = 0; j < n; ++j)
+                    acc += grow[j] * brow[j];
+                ga[i * k + kk] += acc;
+            }
+        }
+        // dB = A^T . g
+        for (int kk = 0; kk < k; ++kk) {
+            for (int i = 0; i < m; ++i) {
+                float av = ad2[i * k + kk];
+                if (av == 0.0f)
+                    continue;
+                const float *grow = g + i * n;
+                float *gbrow = gb.data() + kk * n;
+                for (int j = 0; j < n; ++j)
+                    gbrow[j] += av * grow[j];
+            }
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+embedding(const Tensor &table, const std::vector<int> &ids)
+{
+    if (table.rank() != 2)
+        panic("embedding: table must be rank 2");
+    int vocab = table.dim(0);
+    int h = table.dim(1);
+    for (int id : ids) {
+        if (id < 0 || id >= vocab)
+            panic("embedding: id %d out of range %d", id, vocab);
+    }
+    auto out = makeOut(Shape{static_cast<int>(ids.size()), h},
+                       {table.impl()});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const float *row = table.data().data() +
+            static_cast<std::size_t>(ids[i]) * h;
+        std::copy(row, row + h, out->data.begin() + i * h);
+    }
+    out->backwardFn = [ids, h](TensorImpl &self) {
+        auto &gt = self.parents[0]->gradRef();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            float *grow = gt.data() +
+                static_cast<std::size_t>(ids[i]) * h;
+            const float *g = self.grad.data() + i * h;
+            for (int j = 0; j < h; ++j)
+                grow[j] += g[j];
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &g, const Tensor &b,
+          float eps)
+{
+    int h = x.dim(x.rank() - 1);
+    if (g.numel() != h || b.numel() != h)
+        panic("layerNorm: affine params must have %d elements", h);
+    int rows = static_cast<int>(x.numel() / h);
+
+    auto out = makeOut(x.shape(), {x.impl(), g.impl(), b.impl()});
+    // Cache per-row mean and inverse std for the backward pass.
+    auto mean = std::make_shared<std::vector<float>>(rows);
+    auto rstd = std::make_shared<std::vector<float>>(rows);
+
+    const float *xd = x.data().data();
+    const float *gd = g.data().data();
+    const float *bd = b.data().data();
+    for (int r = 0; r < rows; ++r) {
+        const float *row = xd + static_cast<std::size_t>(r) * h;
+        double mu = 0.0;
+        for (int j = 0; j < h; ++j)
+            mu += row[j];
+        mu /= h;
+        double var = 0.0;
+        for (int j = 0; j < h; ++j)
+            var += (row[j] - mu) * (row[j] - mu);
+        var /= h;
+        float rs = static_cast<float>(
+            1.0 / std::sqrt(var + static_cast<double>(eps)));
+        (*mean)[r] = static_cast<float>(mu);
+        (*rstd)[r] = rs;
+        float *orow = out->data.data() +
+            static_cast<std::size_t>(r) * h;
+        for (int j = 0; j < h; ++j) {
+            float xhat = (row[j] - static_cast<float>(mu)) * rs;
+            orow[j] = xhat * gd[j] + bd[j];
+        }
+    }
+    out->backwardFn = [h, rows, mean, rstd](TensorImpl &self) {
+        auto &px = *self.parents[0];
+        auto &pg = *self.parents[1];
+        auto &pb = *self.parents[2];
+        auto &gx = px.gradRef();
+        auto &gg = pg.gradRef();
+        auto &gb = pb.gradRef();
+        for (int r = 0; r < rows; ++r) {
+            const float *xrow = px.data.data() +
+                static_cast<std::size_t>(r) * h;
+            const float *grow = self.grad.data() +
+                static_cast<std::size_t>(r) * h;
+            float mu = (*mean)[r];
+            float rs = (*rstd)[r];
+            // dxhat = g_out * gamma; then the standard layernorm
+            // backward over the row.
+            double sum_dxhat = 0.0;
+            double sum_dxhat_xhat = 0.0;
+            for (int j = 0; j < h; ++j) {
+                float xhat = (xrow[j] - mu) * rs;
+                float dxhat = grow[j] * pg.data[j];
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xhat;
+                gg[j] += grow[j] * xhat;
+                gb[j] += grow[j];
+            }
+            for (int j = 0; j < h; ++j) {
+                float xhat = (xrow[j] - mu) * rs;
+                float dxhat = grow[j] * pg.data[j];
+                gx[static_cast<std::size_t>(r) * h + j] +=
+                    rs * (dxhat -
+                          static_cast<float>(sum_dxhat) / h -
+                          xhat *
+                              static_cast<float>(sum_dxhat_xhat) /
+                              h);
+            }
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+causalSelfAttention(const Tensor &q, const Tensor &k,
+                    const Tensor &v, int heads)
+{
+    if (q.rank() != 2)
+        panic("attention expects [seq, h] inputs");
+    checkSameShape(q, k, "attention");
+    checkSameShape(q, v, "attention");
+    int s = q.dim(0);
+    int h = q.dim(1);
+    if (h % heads != 0)
+        panic("attention: %d heads do not divide width %d", heads, h);
+    int d = h / heads;
+    float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+    auto out = makeOut(q.shape(), {q.impl(), k.impl(), v.impl()});
+    // att[head][i][j] probabilities, cached for backward.
+    auto att = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(heads) * s * s, 0.0f);
+
+    const float *qd = q.data().data();
+    const float *kd = k.data().data();
+    const float *vd = v.data().data();
+    for (int hd = 0; hd < heads; ++hd) {
+        int off = hd * d;
+        for (int i = 0; i < s; ++i) {
+            float *arow = att->data() +
+                (static_cast<std::size_t>(hd) * s + i) * s;
+            float maxv = -1e30f;
+            for (int j = 0; j <= i; ++j) {
+                float dot = 0.0f;
+                for (int c = 0; c < d; ++c)
+                    dot += qd[i * h + off + c] * kd[j * h + off + c];
+                arow[j] = dot * inv_sqrt_d;
+                maxv = std::max(maxv, arow[j]);
+            }
+            float denom = 0.0f;
+            for (int j = 0; j <= i; ++j) {
+                arow[j] = std::exp(arow[j] - maxv);
+                denom += arow[j];
+            }
+            for (int j = 0; j <= i; ++j)
+                arow[j] /= denom;
+            float *orow = out->data.data() + i * h + off;
+            for (int j = 0; j <= i; ++j) {
+                float p = arow[j];
+                const float *vrow = vd + j * h + off;
+                for (int c = 0; c < d; ++c)
+                    orow[c] += p * vrow[c];
+            }
+        }
+    }
+    out->backwardFn = [s, h, d, heads, inv_sqrt_d,
+                       att](TensorImpl &self) {
+        auto &pq = *self.parents[0];
+        auto &pk = *self.parents[1];
+        auto &pv = *self.parents[2];
+        auto &gq = pq.gradRef();
+        auto &gk = pk.gradRef();
+        auto &gv = pv.gradRef();
+        const float *g = self.grad.data();
+        std::vector<float> datt(static_cast<std::size_t>(s), 0.0f);
+        for (int hd = 0; hd < heads; ++hd) {
+            int off = hd * d;
+            for (int i = 0; i < s; ++i) {
+                const float *arow = att->data() +
+                    (static_cast<std::size_t>(hd) * s + i) * s;
+                const float *grow = g + i * h + off;
+                // dV and dAtt.
+                double dot_sum = 0.0;
+                for (int j = 0; j <= i; ++j) {
+                    float da = 0.0f;
+                    const float *vrow = pv.data.data() + j * h + off;
+                    float *gvrow = gv.data() + j * h + off;
+                    for (int c = 0; c < d; ++c) {
+                        da += grow[c] * vrow[c];
+                        gvrow[c] += arow[j] * grow[c];
+                    }
+                    datt[j] = da;
+                    dot_sum += static_cast<double>(da) * arow[j];
+                }
+                // Softmax backward -> dScores -> dQ, dK.
+                for (int j = 0; j <= i; ++j) {
+                    float ds = arow[j] *
+                        (datt[j] - static_cast<float>(dot_sum)) *
+                        inv_sqrt_d;
+                    const float *krow = pk.data.data() + j * h + off;
+                    const float *qrow = pq.data.data() + i * h + off;
+                    float *gqrow = gq.data() + i * h + off;
+                    float *gkrow = gk.data() + j * h + off;
+                    for (int c = 0; c < d; ++c) {
+                        gqrow[c] += ds * krow[c];
+                        gkrow[c] += ds * qrow[c];
+                    }
+                }
+            }
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+Tensor
+crossEntropy(const Tensor &logits, const std::vector<int> &targets)
+{
+    if (logits.rank() != 2)
+        panic("crossEntropy expects [n, vocab] logits");
+    int n = logits.dim(0);
+    int vocab = logits.dim(1);
+    if (static_cast<int>(targets.size()) != n)
+        panic("crossEntropy: %d rows vs %zu targets", n,
+              targets.size());
+
+    auto out = makeOut(Shape{1}, {logits.impl()});
+    // Cache softmax probabilities for the backward pass.
+    auto probs = std::make_shared<std::vector<float>>(
+        logits.data().size());
+    int valid = 0;
+    double loss = 0.0;
+    const float *ld = logits.data().data();
+    for (int i = 0; i < n; ++i) {
+        const float *row = ld + static_cast<std::size_t>(i) * vocab;
+        float maxv = row[0];
+        for (int j = 1; j < vocab; ++j)
+            maxv = std::max(maxv, row[j]);
+        double denom = 0.0;
+        for (int j = 0; j < vocab; ++j)
+            denom += std::exp(static_cast<double>(row[j] - maxv));
+        float *prow = probs->data() +
+            static_cast<std::size_t>(i) * vocab;
+        for (int j = 0; j < vocab; ++j) {
+            prow[j] = static_cast<float>(
+                std::exp(static_cast<double>(row[j] - maxv)) /
+                denom);
+        }
+        int t = targets[i];
+        if (t >= 0) {
+            if (t >= vocab)
+                panic("crossEntropy: target %d out of range", t);
+            loss -= std::log(
+                std::max(static_cast<double>(prow[t]), 1e-12));
+            ++valid;
+        }
+    }
+    if (valid == 0)
+        panic("crossEntropy: no valid targets");
+    out->data[0] = static_cast<float>(loss / valid);
+    out->backwardFn = [targets, vocab, valid,
+                       probs](TensorImpl &self) {
+        auto &gl = self.parents[0]->gradRef();
+        float g = self.grad[0] / static_cast<float>(valid);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            int t = targets[i];
+            if (t < 0)
+                continue;
+            const float *prow = probs->data() + i * vocab;
+            float *grow = gl.data() + i * vocab;
+            for (int j = 0; j < vocab; ++j)
+                grow[j] += g * prow[j];
+            grow[t] -= g;
+        }
+    };
+    return Tensor::fromImpl(out);
+}
+
+} // namespace mobius

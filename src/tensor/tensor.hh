@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A small CPU tensor library with reverse-mode autograd.
+ *
+ * This is the substrate for the convergence experiment (Fig. 13): the
+ * paper fine-tunes GPT-2 on WikiText-2 under GPipe and under Mobius
+ * and shows identical loss curves, because both perform the same
+ * synchronous microbatch gradient accumulation. We reproduce that
+ * claim with real gradients: a mini GPT trained under a monolithic
+ * autograd schedule and under a stage-partitioned pipeline schedule
+ * must produce bit-identical updates.
+ *
+ * Design: a Tensor is a value-semantics handle onto shared storage;
+ * operations record a backward closure and parent links; backward()
+ * runs a topological sweep accumulating gradients into leaves.
+ * Shapes are row-major; rank <= 3 is what the model needs.
+ */
+
+#ifndef MOBIUS_TENSOR_TENSOR_HH
+#define MOBIUS_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mobius
+{
+
+/** Row-major shape. */
+using Shape = std::vector<int>;
+
+/** @return total element count of a shape. */
+std::int64_t shapeNumel(const Shape &shape);
+
+/** @return "[2, 3]"-style rendering. */
+std::string shapeToString(const Shape &shape);
+
+class Tensor;
+
+/** Shared tensor storage plus autograd bookkeeping. */
+struct TensorImpl
+{
+    Shape shape;
+    std::vector<float> data;
+    std::vector<float> grad;       //!< lazily sized on first use
+    bool requiresGrad = false;
+    /** Accumulates parent gradients; set by the producing op. */
+    std::function<void(TensorImpl &)> backwardFn;
+    std::vector<std::shared_ptr<TensorImpl>> parents;
+
+    /** Ensure grad buffer exists (zero-filled). */
+    std::vector<float> &gradRef();
+};
+
+/** Value-semantics autograd tensor handle. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Fresh zero-filled tensor. */
+    explicit Tensor(Shape shape, bool requires_grad = false);
+
+    /** Tensor from explicit data. */
+    Tensor(Shape shape, std::vector<float> data,
+           bool requires_grad = false);
+
+    bool defined() const { return impl_ != nullptr; }
+    const Shape &shape() const { return impl_->shape; }
+    std::int64_t numel() const { return shapeNumel(impl_->shape); }
+    int dim(int i) const { return impl_->shape[i]; }
+    int rank() const { return static_cast<int>(impl_->shape.size()); }
+
+    std::vector<float> &data() { return impl_->data; }
+    const std::vector<float> &data() const { return impl_->data; }
+    std::vector<float> &grad() { return impl_->gradRef(); }
+
+    bool requiresGrad() const { return impl_->requiresGrad; }
+    void setRequiresGrad(bool v) { impl_->requiresGrad = v; }
+
+    /** Zero the gradient buffer (if any). */
+    void zeroGrad();
+
+    /**
+     * Reverse-mode sweep from this tensor.
+     * @param seed gradient of the output; defaults to ones (only
+     *             sensible for scalars).
+     */
+    void backward(const std::vector<float> *seed = nullptr) const;
+
+    /**
+     * A new leaf sharing no graph history: same data, requires-grad,
+     * empty parents. This is the stage boundary cut used by the
+     * pipeline trainer.
+     */
+    Tensor detachAsLeaf() const;
+
+    std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+    /** Wrap an existing impl. */
+    static Tensor
+    fromImpl(std::shared_ptr<TensorImpl> impl)
+    {
+        Tensor t;
+        t.impl_ = std::move(impl);
+        return t;
+    }
+
+  private:
+    std::shared_ptr<TensorImpl> impl_;
+};
+
+/** @name Elementwise / structural ops (autograd-aware). */
+/** @{ */
+Tensor add(const Tensor &a, const Tensor &b);
+/** Add a [n] vector to every row of a [..., n] tensor. */
+Tensor addRowBroadcast(const Tensor &a, const Tensor &bias);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+Tensor scale(const Tensor &a, float s);
+Tensor gelu(const Tensor &a);
+Tensor relu(const Tensor &a);
+/** View with the same element count. */
+Tensor reshape(const Tensor &a, Shape shape);
+/** Mean of all elements -> scalar [1]. */
+Tensor meanAll(const Tensor &a);
+/** @} */
+
+/** @name Linear algebra. */
+/** @{ */
+/** [m, k] x [k, n] -> [m, n]. Higher-rank lhs is flattened. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+/** @} */
+
+/** @name Neural-net primitives. */
+/** @{ */
+/** Row lookup: ids [n] into table [vocab, h] -> [n, h]. */
+Tensor embedding(const Tensor &table, const std::vector<int> &ids);
+/** LayerNorm over the last dimension with affine params g, b [h]. */
+Tensor layerNorm(const Tensor &x, const Tensor &g, const Tensor &b,
+                 float eps = 1e-5f);
+/**
+ * Fused causal multi-head self-attention.
+ * q, k, v: [seq, h]; @p heads divides h. Returns [seq, h].
+ */
+Tensor causalSelfAttention(const Tensor &q, const Tensor &k,
+                           const Tensor &v, int heads);
+/**
+ * Mean cross-entropy of logits [n, vocab] against integer targets.
+ * Returns scalar [1]; positions with target < 0 are ignored.
+ */
+Tensor crossEntropy(const Tensor &logits,
+                    const std::vector<int> &targets);
+/** @} */
+
+} // namespace mobius
+
+#endif // MOBIUS_TENSOR_TENSOR_HH

@@ -1,0 +1,127 @@
+#include "train/trainer.hh"
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+MonolithicTrainer::MonolithicTrainer(MiniGpt &model, AdamConfig adam)
+    : model_(model), optimizer_(model.parameters(), adam)
+{
+}
+
+double
+MonolithicTrainer::step(
+    const std::vector<SyntheticCorpus::LmSample> &microbatches)
+{
+    if (microbatches.empty())
+        fatal("training step needs at least one microbatch");
+    optimizer_.zeroGrad();
+    const float inv_m =
+        1.0f / static_cast<float>(microbatches.size());
+    double total = 0.0;
+    for (const auto &mb : microbatches) {
+        Tensor logits = model_.forward(mb.input);
+        Tensor loss = crossEntropy(logits, mb.target);
+        total += loss.data()[0];
+        std::vector<float> seed{inv_m};
+        loss.backward(&seed);
+    }
+    optimizer_.step();
+    return total / microbatches.size();
+}
+
+PipelineTrainer::PipelineTrainer(MiniGpt &model, Partition partition,
+                                 AdamConfig adam)
+    : model_(model), partition_(std::move(partition)),
+      optimizer_(model.parameters(), adam)
+{
+    checkPartition(partition_, model.numPipelineLayers());
+}
+
+double
+PipelineTrainer::step(
+    const std::vector<SyntheticCorpus::LmSample> &microbatches)
+{
+    if (microbatches.empty())
+        fatal("training step needs at least one microbatch");
+    optimizer_.zeroGrad();
+    const int s_count = static_cast<int>(partition_.size());
+    const int m_count = static_cast<int>(microbatches.size());
+    const float inv_m = 1.0f / static_cast<float>(m_count);
+
+    // inputLeaf[s][m]: detached input of stage s on microbatch m;
+    // output[s][m]: that stage's output (graph attached to the leaf).
+    std::vector<std::vector<Tensor>> input_leaf(
+        static_cast<std::size_t>(s_count),
+        std::vector<Tensor>(static_cast<std::size_t>(m_count)));
+    std::vector<std::vector<Tensor>> output(
+        static_cast<std::size_t>(s_count),
+        std::vector<Tensor>(static_cast<std::size_t>(m_count)));
+
+    // Forward, stage-major: a stage runs all its microbatches before
+    // control moves on — exactly the Mobius order (Fig. 4).
+    for (int s = 0; s < s_count; ++s) {
+        for (int m = 0; m < m_count; ++m) {
+            Tensor x;
+            if (s > 0) {
+                // The boundary "activation transfer": a fresh leaf
+                // with the upstream values, no graph history.
+                input_leaf[s][m] = output[s - 1][m].detachAsLeaf();
+                x = input_leaf[s][m];
+            }
+            for (int layer = partition_[s].lo;
+                 layer < partition_[s].hi; ++layer) {
+                x = model_.forwardLayer(layer, x,
+                                        microbatches[m].input);
+            }
+            output[s][m] = x;
+        }
+    }
+
+    // Backward, reverse stage order; boundary gradients flow through
+    // the detached leaves ("activation gradient transfers").
+    double total = 0.0;
+    for (int s = s_count - 1; s >= 0; --s) {
+        for (int m = 0; m < m_count; ++m) {
+            if (s == s_count - 1) {
+                Tensor loss = crossEntropy(
+                    output[s][m], microbatches[m].target);
+                total += loss.data()[0];
+                std::vector<float> seed{inv_m};
+                loss.backward(&seed);
+            } else {
+                // Seed with the gradient accumulated on the next
+                // stage's input leaf.
+                output[s][m].backward(
+                    &input_leaf[s + 1][m].grad());
+            }
+        }
+    }
+
+    optimizer_.step();
+    return total / m_count;
+}
+
+LossCurve
+runTraining(MiniGpt &model, const SyntheticCorpus &corpus,
+            PipelineTrainer *pipeline, MonolithicTrainer *monolithic,
+            int steps, int microbatches_per_step,
+            std::uint64_t data_seed)
+{
+    if ((pipeline == nullptr) == (monolithic == nullptr))
+        fatal("runTraining takes exactly one trainer");
+    Rng rng(data_seed);
+    LossCurve curve;
+    for (int step = 0; step < steps; ++step) {
+        std::vector<SyntheticCorpus::LmSample> mbs;
+        for (int m = 0; m < microbatches_per_step; ++m)
+            mbs.push_back(corpus.sample(model.cfg().seqLen, rng));
+        double loss = pipeline ? pipeline->step(mbs)
+                               : monolithic->step(mbs);
+        curve.losses.push_back(loss);
+    }
+    return curve;
+}
+
+} // namespace mobius

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Training loops for the convergence experiment (Fig. 13).
+ *
+ * MonolithicTrainer runs plain microbatch gradient accumulation with
+ * full-model autograd. PipelineTrainer partitions the model into
+ * stages (exactly like Mobius/GPipe partition the big models), cuts
+ * the autograd graph at stage boundaries, executes stages in
+ * pipeline order, and back-propagates boundary gradients stage by
+ * stage. Both perform *synchronous* updates, so — as §3.1 argues —
+ * they produce bit-identical parameter trajectories, which is the
+ * strongest form of the paper's "Mobius does not hurt convergence"
+ * claim (Fig. 13).
+ */
+
+#ifndef MOBIUS_TRAIN_TRAINER_HH
+#define MOBIUS_TRAIN_TRAINER_HH
+
+#include <vector>
+
+#include "data/corpus.hh"
+#include "nn/adam.hh"
+#include "nn/module.hh"
+#include "plan/partition.hh"
+
+namespace mobius
+{
+
+/** Plain full-model gradient accumulation. */
+class MonolithicTrainer
+{
+  public:
+    MonolithicTrainer(MiniGpt &model, AdamConfig adam = {});
+
+    /**
+     * One synchronous step over @p microbatches.
+     * @return mean loss across microbatches.
+     */
+    double step(const std::vector<SyntheticCorpus::LmSample>
+                    &microbatches);
+
+  private:
+    MiniGpt &model_;
+    Adam optimizer_;
+};
+
+/** Stage-partitioned pipeline execution (GPipe/Mobius order). */
+class PipelineTrainer
+{
+  public:
+    /**
+     * @param partition stage ranges over the model's pipeline layers
+     *                  (see MiniGpt::numPipelineLayers()).
+     */
+    PipelineTrainer(MiniGpt &model, Partition partition,
+                    AdamConfig adam = {});
+
+    /** One synchronous pipeline step; returns mean loss. */
+    double step(const std::vector<SyntheticCorpus::LmSample>
+                    &microbatches);
+
+    const Partition &partition() const { return partition_; }
+
+  private:
+    MiniGpt &model_;
+    Partition partition_;
+    Adam optimizer_;
+};
+
+/** A loss curve from a short fine-tuning run. */
+struct LossCurve
+{
+    std::vector<double> losses; //!< one entry per step
+};
+
+/**
+ * Run @p steps of training with @p microbatches_per_step
+ * microbatches per step on a fresh corpus stream (seeded), using
+ * either trainer.
+ */
+LossCurve runTraining(MiniGpt &model, const SyntheticCorpus &corpus,
+                      PipelineTrainer *pipeline,
+                      MonolithicTrainer *monolithic, int steps,
+                      int microbatches_per_step,
+                      std::uint64_t data_seed);
+
+} // namespace mobius
+
+#endif // MOBIUS_TRAIN_TRAINER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-GPU compute engine: kernels (layer forward/backward executions)
+ * run one at a time, FIFO, each for a precomputed duration. Runs
+ * concurrently with the GPU's copy engines, which is what lets Mobius
+ * overlap stage prefetch with computation.
+ */
+
+#ifndef MOBIUS_XFER_COMPUTE_ENGINE_HH
+#define MOBIUS_XFER_COMPUTE_ENGINE_HH
+
+#include <deque>
+#include <functional>
+
+#include "simcore/event_queue.hh"
+#include "simcore/trace.hh"
+#include "xfer/stats.hh"
+
+namespace mobius
+{
+
+/** Serial kernel executor for one GPU. */
+class ComputeEngine
+{
+  public:
+    ComputeEngine(EventQueue &queue, UsageTracker *usage, int gpu,
+                  TraceRecorder *trace = nullptr)
+        : queue_(queue), usage_(usage), gpu_(gpu), trace_(trace)
+    {}
+
+    /**
+     * Enqueue a kernel of @p duration seconds; @p on_complete fires
+     * when it retires. @p label names the span in traces.
+     */
+    void
+    submit(double duration, std::function<void()> on_complete,
+           std::string label = "")
+    {
+        tasks_.push_back(Task{duration, std::move(on_complete),
+                              std::move(label)});
+        if (!busy_)
+            startNext();
+    }
+
+    bool idle() const { return !busy_ && tasks_.empty(); }
+
+    int gpu() const { return gpu_; }
+
+    /** Total kernel-seconds retired. */
+    double busyTime() const { return busyTime_; }
+
+  private:
+    struct Task
+    {
+        double duration;
+        std::function<void()> onComplete;
+        std::string label;
+    };
+
+    void
+    startNext()
+    {
+        // Guard against re-entry: a completion callback may submit
+        // new work (which starts it); the outer frame must not start
+        // a second task concurrently.
+        if (busy_ || tasks_.empty())
+            return;
+        busy_ = true;
+        Task task = std::move(tasks_.front());
+        tasks_.pop_front();
+        if (usage_)
+            usage_->computeBegin(gpu_);
+        busyTime_ += task.duration;
+        double start = queue_.now();
+        queue_.scheduleAfter(
+            task.duration,
+            [this, start, cb = std::move(task.onComplete),
+             label = std::move(task.label)] {
+                if (usage_)
+                    usage_->computeEnd(gpu_);
+                if (trace_) {
+                    trace_->record(TraceSpan{
+                        "gpu" + std::to_string(gpu_) + ".compute",
+                        label, "compute", start, queue_.now()});
+                }
+                busy_ = false;
+                if (cb)
+                    cb();
+                startNext();
+            });
+    }
+
+    EventQueue &queue_;
+    UsageTracker *usage_;
+    int gpu_;
+    TraceRecorder *trace_;
+    bool busy_ = false;
+    double busyTime_ = 0.0;
+    std::deque<Task> tasks_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_XFER_COMPUTE_ENGINE_HH

@@ -1,0 +1,93 @@
+#include "xfer/fair_share.hh"
+
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+std::vector<double>
+maxMinFairRates(const std::vector<FairShareFlow> &flows,
+                const std::vector<double> &pool_capacity)
+{
+    const std::size_t nf = flows.size();
+    std::vector<double> rate(nf, 0.0);
+    std::vector<bool> frozen(nf, false);
+
+    std::vector<double> residual = pool_capacity;
+    std::size_t remaining = nf;
+
+    // A flow with no pools (e.g. a pure-DRAM move) is only bounded by
+    // its own cap; treat "no cap" as effectively infinite.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    while (remaining > 0) {
+        // Find the bottleneck: the smallest achievable equal increment
+        // over all unfrozen flows, considering both pool residuals and
+        // per-flow caps.
+        double best = kInf;
+        for (std::size_t p = 0; p < residual.size(); ++p) {
+            int users = 0;
+            for (std::size_t f = 0; f < nf; ++f) {
+                if (frozen[f])
+                    continue;
+                for (int pool : flows[f].pools) {
+                    if (pool == static_cast<int>(p)) {
+                        ++users;
+                        break;
+                    }
+                }
+            }
+            if (users > 0)
+                best = std::min(best, residual[p] / users);
+        }
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (!frozen[f] && flows[f].rateCap > 0.0)
+                best = std::min(best, flows[f].rateCap - rate[f]);
+        }
+
+        if (best == kInf) {
+            // Every unfrozen flow is unconstrained; that can only
+            // happen for pool-less, cap-less flows, which make no
+            // physical sense here.
+            panic("max-min fairness: unconstrained flow");
+        }
+        if (best < 0)
+            best = 0;
+
+        // Raise all unfrozen flows by the increment, then freeze any
+        // flow that hit a saturated pool or its own cap.
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (frozen[f])
+                continue;
+            rate[f] += best;
+            for (int pool : flows[f].pools)
+                residual[pool] -= best;
+        }
+
+        constexpr double kEps = 1e-6;
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (frozen[f])
+                continue;
+            bool hit = false;
+            if (flows[f].rateCap > 0.0 &&
+                rate[f] >= flows[f].rateCap - kEps) {
+                hit = true;
+            }
+            for (int pool : flows[f].pools) {
+                if (residual[pool] <= kEps * pool_capacity[pool]) {
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit) {
+                frozen[f] = true;
+                --remaining;
+            }
+        }
+    }
+    return rate;
+}
+
+} // namespace mobius

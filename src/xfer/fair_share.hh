@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Max-min fair bandwidth allocation for fluid flows.
+ *
+ * Each flow traverses a set of capacity pools (link directions). When
+ * several flows share a pool they split its capacity max-min fairly:
+ * the most constrained pool is found, its flows are frozen at an equal
+ * share, the residual capacity is redistributed, and the process
+ * repeats. This reproduces the root-complex contention behaviour the
+ * paper profiles in §2.2/§4.2 (e.g. two GPUs under one root complex
+ * each observing half the root complex's bandwidth).
+ */
+
+#ifndef MOBIUS_XFER_FAIR_SHARE_HH
+#define MOBIUS_XFER_FAIR_SHARE_HH
+
+#include <vector>
+
+namespace mobius
+{
+
+/** A flow, for the purposes of rate allocation. */
+struct FairShareFlow
+{
+    std::vector<int> pools;  //!< capacity pool ids traversed
+    double rateCap = 0.0;    //!< optional per-flow cap (0 = none)
+};
+
+/**
+ * Compute max-min fair rates.
+ *
+ * @param flows          the active flows
+ * @param pool_capacity  capacity of each pool id referenced by flows;
+ *                       indexed by pool id (bytes/second)
+ * @return per-flow rate in bytes/second, same order as @p flows
+ */
+std::vector<double>
+maxMinFairRates(const std::vector<FairShareFlow> &flows,
+                const std::vector<double> &pool_capacity);
+
+} // namespace mobius
+
+#endif // MOBIUS_XFER_FAIR_SHARE_HH

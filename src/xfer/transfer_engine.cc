@@ -1,0 +1,297 @@
+#include "xfer/transfer_engine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "xfer/fair_share.hh"
+
+namespace mobius
+{
+
+TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
+                               UsageTracker *usage,
+                               TransferEngineConfig cfg,
+                               TraceRecorder *trace)
+    : queue_(queue), topo_(topo), usage_(usage), cfg_(cfg),
+      trace_(trace)
+{
+    // PCIe H2D/D2H engines plus dedicated NVLink send/receive
+    // engines per GPU.
+    engines_.resize(static_cast<std::size_t>(topo.numGpus()) * 4);
+    poolCapacity_.resize(static_cast<std::size_t>(topo.numLinks()) * 2);
+    for (int l = 0; l < topo.numLinks(); ++l) {
+        poolCapacity_[static_cast<std::size_t>(l) * 2] =
+            topo.link(l).capacity;
+        poolCapacity_[static_cast<std::size_t>(l) * 2 + 1] =
+            topo.link(l).capacity;
+    }
+}
+
+int
+TransferEngine::dataActiveFlows() const
+{
+    int n = 0;
+    for (const auto &[id, f] : flows_) {
+        if (f.state == FlowState::Moving)
+            ++n;
+    }
+    return n;
+}
+
+FlowId
+TransferEngine::submit(TransferRequest req)
+{
+    if (req.src == req.dst)
+        panic("transfer with identical endpoints");
+
+    Flow flow;
+    flow.id = nextId_++;
+    flow.seq = nextSeq_++;
+    flow.req = std::move(req);
+    flow.remaining = flow.req.bytes;
+
+    // Route. GPU->GPU without P2P is staged through DRAM: model the
+    // chunked staging as one cut-through flow across both legs.
+    std::vector<Hop> hops;
+    const Endpoint &src = flow.req.src;
+    const Endpoint &dst = flow.req.dst;
+    if (!src.isDram && !dst.isDram && !topo_.gpudirectP2p()) {
+        auto up = topo_.route(src, Endpoint::dram());
+        auto down = topo_.route(Endpoint::dram(), dst);
+        hops = std::move(up);
+        hops.insert(hops.end(), down.begin(), down.end());
+    } else {
+        hops = topo_.route(src, dst);
+    }
+    bool all_peer = !hops.empty();
+    for (const auto &h : hops) {
+        flow.pools.push_back(h.poolId());
+        all_peer = all_peer && topo_.link(h.link).peer;
+    }
+
+    // Copy engines: sender's D2H and/or receiver's H2D. Pure-NVLink
+    // routes use the dedicated NVLink engines instead.
+    flow.peerOnly = all_peer;
+    if (all_peer) {
+        flow.engines.push_back(nvlinkEngineId(src.gpu, true));
+        flow.engines.push_back(nvlinkEngineId(dst.gpu, false));
+    } else {
+        if (!src.isDram)
+            flow.engines.push_back(engineId(src.gpu, true));
+        if (!dst.isDram)
+            flow.engines.push_back(engineId(dst.gpu, false));
+    }
+
+    // Usage tracking and stats attribution.
+    if (!src.isDram)
+        flow.commGpus.push_back(src.gpu);
+    if (!dst.isDram)
+        flow.commGpus.push_back(dst.gpu);
+    if (flow.req.statsGpu < 0) {
+        flow.req.statsGpu =
+            !dst.isDram ? dst.gpu : (!src.isDram ? src.gpu : -1);
+    }
+
+    FlowId id = flow.id;
+    flows_.emplace(id, std::move(flow));
+    enqueueOnEngines(flows_.at(id));
+    tryStartFlows();
+    return id;
+}
+
+void
+TransferEngine::enqueueOnEngines(Flow &flow)
+{
+    for (int e : flow.engines) {
+        auto &waiting = engines_[e].waiting;
+        // Insert keeping (priority, seq) order.
+        auto pos = waiting.end();
+        for (auto it = waiting.begin(); it != waiting.end(); ++it) {
+            const Flow &other = flows_.at(*it);
+            if (other.req.priority > flow.req.priority ||
+                (other.req.priority == flow.req.priority &&
+                 other.seq > flow.seq)) {
+                pos = it;
+                break;
+            }
+        }
+        waiting.insert(pos, flow.id);
+    }
+}
+
+bool
+TransferEngine::canStart(const Flow &flow) const
+{
+    for (int e : flow.engines) {
+        const CopyEngine &eng = engines_[e];
+        if (eng.current != 0)
+            return false;
+        if (eng.waiting.empty() || eng.waiting.front() != flow.id)
+            return false;
+    }
+    return true;
+}
+
+void
+TransferEngine::tryStartFlows()
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &eng : engines_) {
+            if (eng.current != 0 || eng.waiting.empty())
+                continue;
+            FlowId id = eng.waiting.front();
+            Flow &flow = flows_.at(id);
+            if (flow.state != FlowState::Waiting)
+                continue;
+            if (canStart(flow)) {
+                beginSetup(flow);
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+TransferEngine::beginSetup(Flow &flow)
+{
+    flow.state = FlowState::Setup;
+    for (int e : flow.engines) {
+        auto &eng = engines_[e];
+        eng.waiting.pop_front();
+        eng.current = flow.id;
+    }
+    if (usage_) {
+        for (int g : flow.commGpus)
+            usage_->commBegin(g);
+    }
+    FlowId id = flow.id;
+    flow.pendingEvent = queue_.scheduleAfter(
+        cfg_.setupLatency, [this, id] { beginData(id); });
+}
+
+void
+TransferEngine::beginData(FlowId id)
+{
+    Flow &flow = flows_.at(id);
+    flow.state = FlowState::Moving;
+    flow.pendingEvent = kNoEvent;
+    flow.dataStart = queue_.now();
+    flow.lastUpdate = queue_.now();
+    if (flow.remaining == 0) {
+        finish(id);
+        return;
+    }
+    recomputeRates();
+}
+
+void
+TransferEngine::recomputeRates()
+{
+    // Integrate progress of every moving flow since its last update.
+    std::vector<FlowId> moving;
+    for (auto &[id, f] : flows_) {
+        if (f.state != FlowState::Moving)
+            continue;
+        double dt = queue_.now() - f.lastUpdate;
+        if (dt > 0 && f.rate > 0) {
+            double moved = f.rate * dt;
+            if (moved >= static_cast<double>(f.remaining))
+                f.remaining = 0;
+            else
+                f.remaining -= static_cast<Bytes>(moved);
+        }
+        f.lastUpdate = queue_.now();
+        moving.push_back(id);
+    }
+    if (moving.empty())
+        return;
+
+    std::vector<FairShareFlow> fs(moving.size());
+    for (std::size_t i = 0; i < moving.size(); ++i) {
+        fs[i].pools = flows_.at(moving[i]).pools;
+        fs[i].rateCap = flows_.at(moving[i]).req.rateCap;
+    }
+    auto rates = maxMinFairRates(fs, poolCapacity_);
+
+    for (std::size_t i = 0; i < moving.size(); ++i) {
+        Flow &f = flows_.at(moving[i]);
+        f.rate = rates[i];
+        if (f.pendingEvent != kNoEvent) {
+            queue_.cancel(f.pendingEvent);
+            f.pendingEvent = kNoEvent;
+        }
+        if (f.rate <= 0)
+            panic("flow %llu got zero rate",
+                  static_cast<unsigned long long>(f.id));
+        double eta = static_cast<double>(f.remaining) / f.rate;
+        FlowId id = f.id;
+        f.pendingEvent =
+            queue_.scheduleAfter(eta, [this, id] { finish(id); });
+    }
+}
+
+void
+TransferEngine::finish(FlowId id)
+{
+    Flow &flow = flows_.at(id);
+    flow.pendingEvent = kNoEvent;
+    flow.remaining = 0;
+
+    // Record the achieved-bandwidth sample (setup latency excluded so
+    // tiny transfers do not read as absurdly slow links).
+    double duration = queue_.now() - flow.dataStart;
+    BandwidthSample sample;
+    sample.bytes = flow.req.bytes;
+    sample.bandwidth = duration > 0
+        ? static_cast<double>(flow.req.bytes) / duration
+        : 0.0;
+    sample.start = flow.dataStart;
+    sample.finish = queue_.now();
+    sample.gpu = flow.req.statsGpu;
+    sample.kind = flow.req.kind;
+    sample.peerOnly = flow.peerOnly;
+    stats_.record(sample);
+
+    if (trace_) {
+        // Attribute the span to the GPU-side engine track.
+        std::string track;
+        const Endpoint &src = flow.req.src;
+        const Endpoint &dst = flow.req.dst;
+        if (flow.peerOnly) {
+            track = "gpu" + std::to_string(src.gpu) + ".nvlink";
+        } else if (!dst.isDram) {
+            track = "gpu" + std::to_string(dst.gpu) + ".h2d";
+        } else {
+            track = "gpu" + std::to_string(src.gpu) + ".d2h";
+        }
+        std::string name = flow.req.label.empty()
+            ? trafficKindName(flow.req.kind)
+            : flow.req.label;
+        trace_->record(TraceSpan{std::move(track), std::move(name),
+                                 "transfer", flow.dataStart,
+                                 queue_.now()});
+    }
+
+    if (usage_) {
+        for (int g : flow.commGpus)
+            usage_->commEnd(g);
+    }
+    for (int e : flow.engines) {
+        if (engines_[e].current != id)
+            panic("copy engine %d does not own finishing flow", e);
+        engines_[e].current = 0;
+    }
+
+    auto on_complete = std::move(flow.req.onComplete);
+    flows_.erase(id);
+
+    recomputeRates();
+    tryStartFlows();
+
+    if (on_complete)
+        on_complete();
+}
+
+} // namespace mobius

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The fluid-flow transfer engine.
+ *
+ * Models DMA transfers between DRAM and GPUs (and GPU-to-GPU) on top of
+ * the event queue:
+ *
+ *  - every GPU has one H2D and one D2H copy engine; an engine runs one
+ *    transfer at a time and picks the next by priority (lower value =
+ *    more urgent, FIFO within a priority) — this models CUDA streams
+ *    created with cudaStreamCreateWithPriority (§3.3);
+ *  - an in-flight transfer is a fluid flow across the link-direction
+ *    capacity pools on its route; rates are recomputed with max-min
+ *    fairness whenever the active set changes, which is how
+ *    root-complex contention arises;
+ *  - GPU-to-GPU transfers on servers without GPUDirect P2P are routed
+ *    through DRAM (chunked staging: a single cut-through flow whose
+ *    route covers both legs), matching §2.2;
+ *  - every transfer pays a fixed setup latency (driver/launch cost).
+ */
+
+#ifndef MOBIUS_XFER_TRANSFER_ENGINE_HH
+#define MOBIUS_XFER_TRANSFER_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "hw/topology.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/trace.hh"
+#include "xfer/stats.hh"
+
+namespace mobius
+{
+
+using FlowId = std::uint64_t;
+
+/** A transfer submitted to the engine. */
+struct TransferRequest
+{
+    Endpoint src;
+    Endpoint dst;
+    Bytes bytes = 0;
+    TrafficKind kind = TrafficKind::Other;
+    int priority = 10;            //!< lower value = more urgent
+    int statsGpu = -1;            //!< stats attribution; -1 = auto
+    /**
+     * Per-flow rate cap in bytes/second (0 = none). Models a slow
+     * source such as an NVMe tier feeding stage loads.
+     */
+    double rateCap = 0.0;
+    std::string label;            //!< trace span name
+    std::function<void()> onComplete;
+};
+
+/** Per-transfer engine configuration. */
+struct TransferEngineConfig
+{
+    double setupLatency = 30e-6;  //!< seconds before data moves
+};
+
+/** Schedules transfers over a Topology on an EventQueue. */
+class TransferEngine
+{
+  public:
+    TransferEngine(EventQueue &queue, const Topology &topo,
+                   UsageTracker *usage = nullptr,
+                   TransferEngineConfig cfg = {},
+                   TraceRecorder *trace = nullptr);
+
+    /** Submit a transfer; completes asynchronously. */
+    FlowId submit(TransferRequest req);
+
+    /** @return true when nothing is queued or in flight. */
+    bool idle() const { return flows_.empty(); }
+
+    /** @return number of flows currently moving data. */
+    int dataActiveFlows() const;
+
+    TrafficStats &stats() { return stats_; }
+    const TrafficStats &stats() const { return stats_; }
+
+    const Topology &topo() const { return topo_; }
+
+  private:
+    enum class FlowState { Waiting, Setup, Moving };
+
+    struct Flow
+    {
+        FlowId id = 0;
+        TransferRequest req;
+        std::vector<int> pools;    //!< capacity pools on the route
+        std::vector<int> engines;  //!< copy-engine ids required
+        std::vector<int> commGpus; //!< GPUs for usage tracking
+        bool peerOnly = false;     //!< pure-NVLink route
+        FlowState state = FlowState::Waiting;
+        Bytes remaining = 0;
+        double rate = 0.0;
+        SimTime dataStart = 0.0;
+        SimTime lastUpdate = 0.0;
+        EventId pendingEvent = kNoEvent;
+        std::uint64_t seq = 0;
+    };
+
+    struct CopyEngine
+    {
+        FlowId current = 0;               //!< 0 = idle
+        std::deque<FlowId> waiting;       //!< kept priority-sorted
+    };
+
+    /** Copy-engine id for a GPU and direction (false=H2D, true=D2H). */
+    int
+    engineId(int gpu, bool d2h) const
+    {
+        return gpu * 2 + (d2h ? 1 : 0);
+    }
+
+    /**
+     * NVLink copy-engine id. Transfers whose whole route is peer
+     * links use these, so NVLink traffic does not queue behind PCIe
+     * DMA on the same device (matching dedicated NVLink engines on
+     * real GPUs).
+     */
+    int
+    nvlinkEngineId(int gpu, bool send) const
+    {
+        return topo_.numGpus() * 2 + gpu * 2 + (send ? 1 : 0);
+    }
+
+    void enqueueOnEngines(Flow &flow);
+    void tryStartFlows();
+    bool canStart(const Flow &flow) const;
+    void beginSetup(Flow &flow);
+    void beginData(FlowId id);
+    void finish(FlowId id);
+    void recomputeRates();
+
+    EventQueue &queue_;
+    const Topology &topo_;
+    UsageTracker *usage_;
+    TransferEngineConfig cfg_;
+    TraceRecorder *trace_;
+    TrafficStats stats_;
+
+    std::map<FlowId, Flow> flows_;
+    std::vector<CopyEngine> engines_;
+    std::vector<double> poolCapacity_;
+    FlowId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_XFER_TRANSFER_ENGINE_HH

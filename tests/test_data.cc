@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the synthetic corpus generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "data/corpus.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(Corpus, GeneratesRequestedTokens)
+{
+    CorpusConfig cfg;
+    cfg.numTokens = 5000;
+    SyntheticCorpus corpus(cfg);
+    EXPECT_EQ(corpus.tokens().size(), 5000u);
+    for (int t : corpus.tokens()) {
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, cfg.vocab);
+    }
+}
+
+TEST(Corpus, DeterministicPerSeed)
+{
+    CorpusConfig cfg;
+    cfg.numTokens = 2000;
+    SyntheticCorpus a(cfg), b(cfg);
+    EXPECT_EQ(a.tokens(), b.tokens());
+    cfg.seed = 8;
+    SyntheticCorpus c(cfg);
+    EXPECT_NE(a.tokens(), c.tokens());
+}
+
+TEST(Corpus, ZipfSkewsFrequencies)
+{
+    CorpusConfig cfg;
+    cfg.numTokens = 50000;
+    cfg.bigramProb = 0.0; // pure unigram draw
+    SyntheticCorpus corpus(cfg);
+    std::vector<int> counts(cfg.vocab, 0);
+    for (int t : corpus.tokens())
+        ++counts[t];
+    // Token 0 is the most frequent by a wide margin.
+    int max_other = 0;
+    for (int i = 1; i < cfg.vocab; ++i)
+        max_other = std::max(max_other, counts[i]);
+    EXPECT_GT(counts[0], max_other);
+    EXPECT_GT(counts[0], cfg.numTokens / 20);
+}
+
+TEST(Corpus, BigramStructureIsLearnable)
+{
+    // With the bigram rule, conditional entropy is well below the
+    // unigram entropy — that's what the model learns in Fig. 13.
+    CorpusConfig cfg;
+    cfg.numTokens = 80000;
+    SyntheticCorpus corpus(cfg);
+    double h1 = corpus.unigramEntropy();
+
+    // Estimate conditional entropy H(next | prev).
+    std::vector<std::vector<double>> big(
+        cfg.vocab, std::vector<double>(cfg.vocab, 0.0));
+    std::vector<double> prev_count(cfg.vocab, 0.0);
+    const auto &t = corpus.tokens();
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        big[t[i - 1]][t[i]] += 1.0;
+        prev_count[t[i - 1]] += 1.0;
+    }
+    double h2 = 0.0;
+    for (int a = 0; a < cfg.vocab; ++a) {
+        if (prev_count[a] == 0)
+            continue;
+        double pa = prev_count[a] / (t.size() - 1);
+        for (int b = 0; b < cfg.vocab; ++b) {
+            if (big[a][b] == 0)
+                continue;
+            double pba = big[a][b] / prev_count[a];
+            h2 -= pa * pba * std::log(pba);
+        }
+    }
+    EXPECT_LT(h2, h1 * 0.75);
+}
+
+TEST(Corpus, SampleWindowsAreShifted)
+{
+    SyntheticCorpus corpus;
+    Rng rng(3);
+    auto s = corpus.sample(16, rng);
+    ASSERT_EQ(s.input.size(), 16u);
+    ASSERT_EQ(s.target.size(), 16u);
+    for (int i = 0; i < 15; ++i)
+        EXPECT_EQ(s.target[i], s.input[i + 1]);
+}
+
+TEST(Corpus, SampleRejectsOversizedWindow)
+{
+    CorpusConfig cfg;
+    cfg.numTokens = 10;
+    SyntheticCorpus corpus(cfg);
+    Rng rng(1);
+    EXPECT_THROW(corpus.sample(64, rng), FatalError);
+}
+
+} // namespace
+} // namespace mobius

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit and property tests for the max-min fair rate allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "xfer/fair_share.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(FairShare, SingleFlowGetsFullLink)
+{
+    std::vector<FairShareFlow> flows{{{0}, 0.0}};
+    auto rates = maxMinFairRates(flows, {10.0});
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_NEAR(rates[0], 10.0, 1e-6);
+}
+
+TEST(FairShare, TwoFlowsSplitSharedLink)
+{
+    // The paper's root-complex contention: two GPUs sharing one root
+    // complex each see half the bandwidth (§2.2, Fig. 2).
+    std::vector<FairShareFlow> flows{{{0}, 0.0}, {{0}, 0.0}};
+    auto rates = maxMinFairRates(flows, {13.1});
+    EXPECT_NEAR(rates[0], 6.55, 1e-6);
+    EXPECT_NEAR(rates[1], 6.55, 1e-6);
+}
+
+TEST(FairShare, BottleneckOnSharedMiddleLink)
+{
+    // flows: A uses pools {0, 2}; B uses pools {1, 2}; pool 2 shared.
+    std::vector<FairShareFlow> flows{{{0, 2}, 0.0}, {{1, 2}, 0.0}};
+    auto rates = maxMinFairRates(flows, {10.0, 10.0, 8.0});
+    EXPECT_NEAR(rates[0], 4.0, 1e-6);
+    EXPECT_NEAR(rates[1], 4.0, 1e-6);
+}
+
+TEST(FairShare, MaxMinRedistributesResidual)
+{
+    // Classic max-min example: flow 0 capped by its private narrow
+    // link; flows 1 and 2 share the residual of the big link.
+    // pools: 0 (cap 2), 1 (cap 12). Flow0: {0,1}; Flow1: {1}; Flow2: {1}.
+    std::vector<FairShareFlow> flows{
+        {{0, 1}, 0.0}, {{1}, 0.0}, {{1}, 0.0}};
+    auto rates = maxMinFairRates(flows, {2.0, 12.0});
+    EXPECT_NEAR(rates[0], 2.0, 1e-6);
+    EXPECT_NEAR(rates[1], 5.0, 1e-6);
+    EXPECT_NEAR(rates[2], 5.0, 1e-6);
+}
+
+TEST(FairShare, RateCapHonored)
+{
+    std::vector<FairShareFlow> flows{{{0}, 3.0}, {{0}, 0.0}};
+    auto rates = maxMinFairRates(flows, {10.0});
+    EXPECT_NEAR(rates[0], 3.0, 1e-6);
+    EXPECT_NEAR(rates[1], 7.0, 1e-6);
+}
+
+TEST(FairShare, AsymmetricPathsFourFlows)
+{
+    // Two flows on each of two disjoint links: independent halves.
+    std::vector<FairShareFlow> flows{
+        {{0}, 0.0}, {{0}, 0.0}, {{1}, 0.0}, {{1}, 0.0}};
+    auto rates = maxMinFairRates(flows, {10.0, 4.0});
+    EXPECT_NEAR(rates[0], 5.0, 1e-6);
+    EXPECT_NEAR(rates[1], 5.0, 1e-6);
+    EXPECT_NEAR(rates[2], 2.0, 1e-6);
+    EXPECT_NEAR(rates[3], 2.0, 1e-6);
+}
+
+/** Property: allocations never violate pool capacities. */
+class FairShareRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FairShareRandom, CapacityAndEfficiencyInvariants)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int npools = 2 + static_cast<int>(rng.below(6));
+    std::vector<double> cap;
+    for (int p = 0; p < npools; ++p)
+        cap.push_back(rng.uniform(1.0, 20.0));
+
+    const int nflows = 1 + static_cast<int>(rng.below(10));
+    std::vector<FairShareFlow> flows;
+    for (int f = 0; f < nflows; ++f) {
+        FairShareFlow fl;
+        int hops = 1 + static_cast<int>(rng.below(3));
+        for (int h = 0; h < hops; ++h) {
+            int p = static_cast<int>(rng.below(npools));
+            bool dup = false;
+            for (int q : fl.pools)
+                dup |= (q == p);
+            if (!dup)
+                fl.pools.push_back(p);
+        }
+        if (rng.below(4) == 0)
+            fl.rateCap = rng.uniform(0.5, 10.0);
+        flows.push_back(fl);
+    }
+
+    auto rates = maxMinFairRates(flows, cap);
+    ASSERT_EQ(rates.size(), flows.size());
+
+    // 1. No pool over capacity.
+    std::vector<double> used(cap.size(), 0.0);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        for (int p : flows[f].pools)
+            used[p] += rates[f];
+    }
+    for (std::size_t p = 0; p < cap.size(); ++p)
+        EXPECT_LE(used[p], cap[p] + 1e-5);
+
+    // 2. No cap violated; every rate positive.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        EXPECT_GT(rates[f], 0.0);
+        if (flows[f].rateCap > 0) {
+            EXPECT_LE(rates[f], flows[f].rateCap + 1e-6);
+        }
+    }
+
+    // 3. Pareto efficiency: every flow is blocked by a saturated
+    // pool or its own cap (no free capacity left on its whole path).
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        bool blocked = flows[f].rateCap > 0 &&
+            rates[f] >= flows[f].rateCap - 1e-5;
+        for (int p : flows[f].pools) {
+            if (used[p] >= cap[p] - std::max(1e-5, 1e-5 * cap[p]))
+                blocked = true;
+        }
+        EXPECT_TRUE(blocked) << "flow " << f << " not bottlenecked";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareRandom,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace mobius

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the NN modules and the Adam optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.hh"
+#include "nn/module.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(Linear, ForwardShapeAndDeterminism)
+{
+    Rng rng1(5), rng2(5);
+    Linear l1(4, 3, rng1), l2(4, 3, rng2);
+    Tensor x(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+    Tensor y1 = l1.forward(x);
+    Tensor y2 = l2.forward(x);
+    EXPECT_EQ(y1.shape(), (Shape{2, 3}));
+    for (std::size_t i = 0; i < y1.data().size(); ++i)
+        EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+}
+
+TEST(Block, ForwardPreservesShape)
+{
+    Rng rng(7);
+    TransformerBlockModule block(8, 2, rng);
+    Tensor x(Shape{5, 8}, true);
+    initUniform(x, 0.5f, rng);
+    Tensor y = block.forward(x);
+    EXPECT_EQ(y.shape(), x.shape());
+    EXPECT_EQ(block.parameters().size(), 12u);
+}
+
+TEST(Block, GradientsFlowToAllParameters)
+{
+    Rng rng(8);
+    TransformerBlockModule block(8, 2, rng);
+    Tensor x(Shape{4, 8}, true);
+    initUniform(x, 0.5f, rng);
+    Tensor loss = meanAll(block.forward(x));
+    loss.backward();
+    for (auto &p : block.parameters()) {
+        double norm = 0;
+        for (float g : p.grad())
+            norm += std::fabs(g);
+        EXPECT_GT(norm, 0.0);
+    }
+}
+
+TEST(MiniGpt, ForwardShapesAndLayerCount)
+{
+    MiniGptConfig cfg;
+    cfg.vocab = 20;
+    cfg.width = 16;
+    cfg.heads = 2;
+    cfg.blocks = 3;
+    cfg.seqLen = 8;
+    MiniGpt model(cfg);
+    EXPECT_EQ(model.numPipelineLayers(), 5);
+
+    std::vector<int> ids{1, 2, 3, 4, 5, 6, 7, 8};
+    Tensor logits = model.forward(ids);
+    EXPECT_EQ(logits.shape(), (Shape{8, 20}));
+}
+
+TEST(MiniGpt, LayerwiseForwardEqualsMonolithic)
+{
+    MiniGptConfig cfg;
+    cfg.vocab = 20;
+    cfg.width = 16;
+    cfg.heads = 2;
+    cfg.blocks = 2;
+    cfg.seqLen = 6;
+    MiniGpt model(cfg);
+    std::vector<int> ids{3, 1, 4, 1, 5, 9};
+    Tensor direct = model.forward(ids);
+    Tensor x = model.forwardLayer(0, Tensor(), ids);
+    for (int l = 1; l < model.numPipelineLayers(); ++l)
+        x = model.forwardLayer(l, x, ids);
+    for (std::size_t i = 0; i < direct.data().size(); ++i)
+        EXPECT_FLOAT_EQ(direct.data()[i], x.data()[i]);
+}
+
+TEST(MiniGpt, ParameterPartitionIsComplete)
+{
+    MiniGptConfig cfg;
+    cfg.blocks = 3;
+    MiniGpt model(cfg);
+    std::size_t layered = 0;
+    for (int l = 0; l < model.numPipelineLayers(); ++l)
+        layered += model.layerParameters(l).size();
+    EXPECT_EQ(layered, model.parameters().size());
+}
+
+TEST(Adam, MinimisesQuadratic)
+{
+    // f(x) = (x - 3)^2 per coordinate: Adam should approach 3.
+    Tensor x(Shape{4}, {0, 1, -2, 10}, true);
+    AdamConfig cfg;
+    cfg.lr = 0.1f;
+    Adam opt({x}, cfg);
+    for (int it = 0; it < 400; ++it) {
+        opt.zeroGrad();
+        for (int i = 0; i < 4; ++i)
+            x.grad()[i] = 2.0f * (x.data()[i] - 3.0f);
+        opt.step();
+    }
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(x.data()[i], 3.0f, 0.05f);
+    EXPECT_EQ(opt.stepsTaken(), 400);
+}
+
+TEST(Adam, BiasCorrectionFirstStep)
+{
+    // First step moves by ~lr regardless of gradient magnitude.
+    Tensor x(Shape{1}, {0.0f}, true);
+    AdamConfig cfg;
+    cfg.lr = 0.01f;
+    Adam opt({x}, cfg);
+    x.grad()[0] = 1e-4f;
+    opt.step();
+    EXPECT_NEAR(x.data()[0], -0.01f, 1e-4f);
+}
+
+TEST(MiniGpt, LossDecreasesOnTinyOverfit)
+{
+    // Overfit a single sequence: loss must fall sharply.
+    MiniGptConfig cfg;
+    cfg.vocab = 12;
+    cfg.width = 16;
+    cfg.heads = 2;
+    cfg.blocks = 2;
+    cfg.seqLen = 8;
+    MiniGpt model(cfg);
+    Adam opt(model.parameters(), AdamConfig{3e-3f});
+    std::vector<int> ids{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> tgt{2, 3, 4, 5, 6, 7, 8, 9};
+    double first = 0, last = 0;
+    for (int it = 0; it < 60; ++it) {
+        opt.zeroGrad();
+        Tensor loss = crossEntropy(model.forward(ids), tgt);
+        if (it == 0)
+            first = loss.data()[0];
+        last = loss.data()[0];
+        loss.backward();
+        opt.step();
+    }
+    EXPECT_LT(last, first * 0.3);
+}
+
+} // namespace
+} // namespace mobius

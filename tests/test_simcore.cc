@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(0); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(1.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // second cancel is a no-op
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<double> times;
+    q.schedule(1.0, [&] {
+        times.push_back(q.now());
+        q.scheduleAfter(0.5, [&] { times.push_back(q.now()); });
+    });
+    q.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1.0, [&] { ++count; });
+    q.schedule(5.0, [&] { ++count; });
+    q.runUntil(2.0);
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunUntilPastEmptyAdvancesClock)
+{
+    EventQueue q;
+    q.runUntil(7.5);
+    EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    double fired_at = -1.0;
+    q.schedule(2.0, [&] {
+        q.scheduleAfter(3.0, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, ExecutedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, CancelInsideEvent)
+{
+    EventQueue q;
+    bool late_fired = false;
+    EventId late = q.schedule(2.0, [&] { late_fired = true; });
+    q.schedule(1.0, [&] { q.cancel(late); });
+    q.run();
+    EXPECT_FALSE(late_fired);
+}
+
+TEST(EventQueue, ToleratesTinyBackslide)
+{
+    EventQueue q;
+    q.schedule(1.0, [&] {
+        // Floating-point jitter: schedule "now - tiny"; should clamp.
+        q.schedule(q.now() - 1e-12, [] {});
+    });
+    EXPECT_NO_FATAL_FAILURE(q.run());
+}
+
+} // namespace
+} // namespace mobius

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the simplex LP solver and the branch-and-bound MIP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "solver/lp.hh"
+#include "solver/mip.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(Lp, TextbookMaximisation)
+{
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => (2, 6), 36.
+    LpProblem p;
+    int x = p.addVar(-3.0);
+    int y = p.addVar(-5.0);
+    p.addRow({{x, 1.0}}, Sense::Le, 4.0);
+    p.addRow({{y, 2.0}}, Sense::Le, 12.0);
+    p.addRow({{x, 3.0}, {y, 2.0}}, Sense::Le, 18.0);
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.objective, -36.0, 1e-6);
+    EXPECT_NEAR(sol.x[x], 2.0, 1e-6);
+    EXPECT_NEAR(sol.x[y], 6.0, 1e-6);
+}
+
+TEST(Lp, GreaterEqualAndEquality)
+{
+    // min 2x + 3y s.t. x + y = 10, x >= 4: substituting y = 10 - x
+    // gives 30 - x, so x is pushed to 10 and the optimum is 20.
+    LpProblem p;
+    int x = p.addVar(2.0);
+    int y = p.addVar(3.0);
+    p.addRow({{x, 1.0}, {y, 1.0}}, Sense::Eq, 10.0);
+    p.addRow({{x, 1.0}}, Sense::Ge, 4.0);
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.objective, 20.0, 1e-6);
+    EXPECT_NEAR(sol.x[x], 10.0, 1e-6); // x as large as possible
+    EXPECT_NEAR(sol.x[y], 0.0, 1e-6);
+}
+
+TEST(Lp, InfeasibleDetected)
+{
+    LpProblem p;
+    int x = p.addVar(1.0);
+    p.addRow({{x, 1.0}}, Sense::Ge, 5.0);
+    p.addRow({{x, 1.0}}, Sense::Le, 3.0);
+    auto sol = solveLp(p);
+    EXPECT_EQ(sol.status, LpSolution::Status::Infeasible);
+}
+
+TEST(Lp, UnboundedDetected)
+{
+    LpProblem p;
+    int x = p.addVar(-1.0); // maximise x with no constraint
+    (void)x;
+    auto sol = solveLp(p);
+    EXPECT_EQ(sol.status, LpSolution::Status::Unbounded);
+}
+
+TEST(Lp, VariableBoundsRespected)
+{
+    LpProblem p;
+    int x = p.addVar(-1.0, 1.0, 7.0); // min -x, 1 <= x <= 7
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.x[x], 7.0, 1e-6);
+    EXPECT_NEAR(sol.objective, -7.0, 1e-6);
+}
+
+TEST(Lp, FreeVariableHandled)
+{
+    // min x s.t. x >= -5 with x free below: x = -5 via a row.
+    LpProblem p;
+    int x = p.addVar(1.0, -kLpInf, kLpInf);
+    p.addRow({{x, 1.0}}, Sense::Ge, -5.0);
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.x[x], -5.0, 1e-6);
+}
+
+TEST(Lp, DegenerateProblemTerminates)
+{
+    // Classic degeneracy; Bland's rule must terminate.
+    LpProblem p;
+    int x1 = p.addVar(-0.75);
+    int x2 = p.addVar(150.0);
+    int x3 = p.addVar(-0.02);
+    int x4 = p.addVar(6.0);
+    p.addRow({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+             Sense::Le, 0.0);
+    p.addRow({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+             Sense::Le, 0.0);
+    p.addRow({{x3, 1.0}}, Sense::Le, 1.0);
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.objective, -0.05, 1e-6);
+}
+
+TEST(Lp, EqualityWithNegativeRhs)
+{
+    LpProblem p;
+    int x = p.addVar(1.0, -kLpInf, kLpInf);
+    p.addRow({{x, 1.0}}, Sense::Eq, -4.0);
+    auto sol = solveLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.x[x], -4.0, 1e-6);
+}
+
+TEST(Mip, KnapsackSmall)
+{
+    // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary  => a+c = 17? vs
+    // b+c = 20 (weight 6). Optimal: b + c = 20.
+    MipProblem p;
+    int a = p.addBoolVar(-10.0);
+    int b = p.addBoolVar(-13.0);
+    int c = p.addBoolVar(-7.0);
+    p.lp.addRow({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Sense::Le, 6.0);
+    auto sol = solveMip(p);
+    ASSERT_EQ(sol.status, MipSolution::Status::Optimal);
+    EXPECT_NEAR(sol.objective, -20.0, 1e-6);
+    EXPECT_NEAR(sol.x[a], 0.0, 1e-6);
+    EXPECT_NEAR(sol.x[b], 1.0, 1e-6);
+    EXPECT_NEAR(sol.x[c], 1.0, 1e-6);
+}
+
+TEST(Mip, IntegerRounding)
+{
+    // min -x, x <= 3.7, x integer => 3.
+    MipProblem p;
+    int x = p.addIntVar(-1.0, 0.0, 100.0);
+    p.lp.addRow({{x, 1.0}}, Sense::Le, 3.7);
+    auto sol = solveMip(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+}
+
+TEST(Mip, AssignmentProblem)
+{
+    // 3x3 assignment, cost matrix; optimal = 5 (1 + 3 + 1).
+    const double cost[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 1}};
+    MipProblem p;
+    int v[3][3];
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j)
+            v[i][j] = p.addBoolVar(cost[i][j]);
+    }
+    for (int i = 0; i < 3; ++i) {
+        std::vector<std::pair<int, double>> row, col;
+        for (int j = 0; j < 3; ++j) {
+            row.push_back({v[i][j], 1.0});
+            col.push_back({v[j][i], 1.0});
+        }
+        p.lp.addRow(row, Sense::Eq, 1.0);
+        p.lp.addRow(col, Sense::Eq, 1.0);
+    }
+    auto sol = solveMip(p);
+    ASSERT_EQ(sol.status, MipSolution::Status::Optimal);
+    EXPECT_NEAR(sol.objective, 4.0, 1e-6); // 1 + 2 + 1
+}
+
+TEST(Mip, MixedContinuousAndInteger)
+{
+    // min y s.t. y >= 1.5 n, n >= 2, n integer; y continuous.
+    MipProblem p;
+    int n = p.addIntVar(0.0, 0.0, 10.0);
+    int y = p.addVar(1.0);
+    p.lp.addRow({{y, 1.0}, {n, -1.5}}, Sense::Ge, 0.0);
+    p.lp.addRow({{n, 1.0}}, Sense::Ge, 2.0);
+    auto sol = solveMip(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol.x[n], 2.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 3.0, 1e-6);
+}
+
+TEST(Mip, InfeasibleIntegerBox)
+{
+    // 0.4 <= x <= 0.6, x integer: no integer point.
+    MipProblem p;
+    int x = p.addIntVar(1.0, 0.4, 0.6);
+    (void)x;
+    auto sol = solveMip(p);
+    EXPECT_EQ(sol.status, MipSolution::Status::Infeasible);
+}
+
+TEST(Mip, RandomKnapsacksMatchBruteForce)
+{
+    // Property: B&B equals exhaustive enumeration on random 0/1
+    // knapsacks.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Rng rng(seed);
+        const int n = 8;
+        std::vector<double> value(n), weight(n);
+        for (int i = 0; i < n; ++i) {
+            value[i] = 1.0 + static_cast<double>(rng.below(20));
+            weight[i] = 1.0 + static_cast<double>(rng.below(10));
+        }
+        double cap = 15.0;
+
+        MipProblem p;
+        std::vector<std::pair<int, double>> row;
+        for (int i = 0; i < n; ++i) {
+            int v = p.addBoolVar(-value[i]);
+            row.push_back({v, weight[i]});
+        }
+        p.lp.addRow(row, Sense::Le, cap);
+        auto sol = solveMip(p);
+        ASSERT_TRUE(sol.ok());
+
+        double best = 0.0;
+        for (int mask = 0; mask < (1 << n); ++mask) {
+            double tv = 0, tw = 0;
+            for (int i = 0; i < n; ++i) {
+                if (mask & (1 << i)) {
+                    tv += value[i];
+                    tw += weight[i];
+                }
+            }
+            if (tw <= cap)
+                best = std::max(best, tv);
+        }
+        EXPECT_NEAR(-sol.objective, best, 1e-6) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace mobius

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tensor/autograd tests: every operator is gradient-checked against
+ * central finite differences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace mobius
+{
+namespace
+{
+
+Tensor
+randomTensor(Shape shape, Rng &rng, float scale = 1.0f)
+{
+    Tensor t(shape, true);
+    for (auto &v : t.data())
+        v = static_cast<float>(rng.uniform(-scale, scale));
+    return t;
+}
+
+/** Deterministic weights turning a tensor into a scalar loss. */
+std::vector<float>
+lossWeights(std::int64_t n, Rng &rng)
+{
+    std::vector<float> w(static_cast<std::size_t>(n));
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return w;
+}
+
+double
+weightedSum(const Tensor &t, const std::vector<float> &w)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < t.data().size(); ++i)
+        s += static_cast<double>(t.data()[i]) * w[i];
+    return s;
+}
+
+/**
+ * Gradient-check @p fn: builds the op output from inputs, reduces it
+ * with fixed weights, compares autograd input gradients against
+ * central differences.
+ */
+void
+gradCheck(const std::function<Tensor()> &fn,
+          std::vector<Tensor> inputs, double tol = 2e-2,
+          float eps = 1e-3f)
+{
+    Rng rng(99);
+    Tensor out = fn();
+    auto w = lossWeights(out.numel(), rng);
+
+    // Autograd gradients.
+    for (auto &in : inputs)
+        in.zeroGrad();
+    out.backward(&w);
+
+    for (auto &in : inputs) {
+        for (std::size_t i = 0; i < in.data().size(); ++i) {
+            float keep = in.data()[i];
+            in.data()[i] = keep + eps;
+            double up = weightedSum(fn(), w);
+            in.data()[i] = keep - eps;
+            double down = weightedSum(fn(), w);
+            in.data()[i] = keep;
+            double numeric = (up - down) / (2.0 * eps);
+            double analytic = in.grad()[i];
+            double denom =
+                std::max({1.0, std::fabs(numeric),
+                          std::fabs(analytic)});
+            ASSERT_NEAR(analytic / denom, numeric / denom, tol)
+                << "element " << i;
+        }
+    }
+}
+
+TEST(Tensor, ShapeHelpers)
+{
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24);
+    EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+    Tensor t(Shape{2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.rank(), 2);
+}
+
+TEST(Tensor, AddForwardAndGrad)
+{
+    Rng rng(1);
+    Tensor a = randomTensor({3, 4}, rng);
+    Tensor b = randomTensor({3, 4}, rng);
+    gradCheck([&] { return add(a, b); }, {a, b});
+}
+
+TEST(Tensor, SubMulScale)
+{
+    Rng rng(2);
+    Tensor a = randomTensor({2, 5}, rng);
+    Tensor b = randomTensor({2, 5}, rng);
+    gradCheck([&] { return sub(a, b); }, {a, b});
+    gradCheck([&] { return mul(a, b); }, {a, b});
+    gradCheck([&] { return scale(a, -2.5f); }, {a});
+}
+
+TEST(Tensor, AddRowBroadcast)
+{
+    Rng rng(3);
+    Tensor a = randomTensor({4, 3}, rng);
+    Tensor bias = randomTensor({3}, rng);
+    gradCheck([&] { return addRowBroadcast(a, bias); }, {a, bias});
+}
+
+TEST(Tensor, GeluAndRelu)
+{
+    Rng rng(4);
+    Tensor a = randomTensor({3, 3}, rng, 2.0f);
+    gradCheck([&] { return gelu(a); }, {a});
+    // Keep relu inputs away from the kink.
+    for (auto &v : a.data()) {
+        if (std::fabs(v) < 0.05f)
+            v = 0.5f;
+    }
+    gradCheck([&] { return relu(a); }, {a});
+}
+
+TEST(Tensor, MatmulForward)
+{
+    Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2}));
+    EXPECT_FLOAT_EQ(c.data()[0], 58);
+    EXPECT_FLOAT_EQ(c.data()[1], 64);
+    EXPECT_FLOAT_EQ(c.data()[2], 139);
+    EXPECT_FLOAT_EQ(c.data()[3], 154);
+}
+
+TEST(Tensor, MatmulGrad)
+{
+    Rng rng(5);
+    Tensor a = randomTensor({4, 3}, rng);
+    Tensor b = randomTensor({3, 5}, rng);
+    gradCheck([&] { return matmul(a, b); }, {a, b});
+}
+
+TEST(Tensor, ReshapeAndMean)
+{
+    Rng rng(6);
+    Tensor a = randomTensor({2, 6}, rng);
+    gradCheck([&] { return reshape(a, {3, 4}); }, {a});
+    gradCheck([&] { return meanAll(a); }, {a});
+}
+
+TEST(Tensor, EmbeddingGrad)
+{
+    Rng rng(7);
+    Tensor table = randomTensor({5, 4}, rng);
+    std::vector<int> ids{0, 3, 3, 1};
+    gradCheck([&] { return embedding(table, ids); }, {table});
+}
+
+TEST(Tensor, LayerNormForwardNormalises)
+{
+    Rng rng(8);
+    Tensor x = randomTensor({3, 8}, rng, 3.0f);
+    Tensor g(Shape{8}, std::vector<float>(8, 1.0f), true);
+    Tensor b(Shape{8}, true);
+    Tensor out = layerNorm(x, g, b);
+    for (int r = 0; r < 3; ++r) {
+        double mu = 0, var = 0;
+        for (int j = 0; j < 8; ++j)
+            mu += out.data()[r * 8 + j];
+        mu /= 8;
+        for (int j = 0; j < 8; ++j) {
+            double d = out.data()[r * 8 + j] - mu;
+            var += d * d;
+        }
+        var /= 8;
+        EXPECT_NEAR(mu, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(Tensor, LayerNormGrad)
+{
+    Rng rng(9);
+    Tensor x = randomTensor({2, 6}, rng, 2.0f);
+    Tensor g = randomTensor({6}, rng);
+    Tensor b = randomTensor({6}, rng);
+    gradCheck([&] { return layerNorm(x, g, b); }, {x, g, b},
+              3e-2);
+}
+
+TEST(Tensor, AttentionIsCausal)
+{
+    // Changing a future token must not change earlier outputs.
+    Rng rng(10);
+    Tensor q = randomTensor({4, 6}, rng);
+    Tensor k = randomTensor({4, 6}, rng);
+    Tensor v = randomTensor({4, 6}, rng);
+    Tensor out1 = causalSelfAttention(q, k, v, 2);
+    // Perturb the last row of k and v.
+    for (int j = 0; j < 6; ++j) {
+        k.data()[3 * 6 + j] += 1.0f;
+        v.data()[3 * 6 + j] -= 1.0f;
+    }
+    Tensor out2 = causalSelfAttention(q, k, v, 2);
+    for (int i = 0; i < 3 * 6; ++i)
+        EXPECT_FLOAT_EQ(out1.data()[i], out2.data()[i]);
+    bool last_changed = false;
+    for (int j = 0; j < 6; ++j) {
+        last_changed |= out1.data()[3 * 6 + j] !=
+            out2.data()[3 * 6 + j];
+    }
+    EXPECT_TRUE(last_changed);
+}
+
+TEST(Tensor, AttentionGrad)
+{
+    Rng rng(11);
+    Tensor q = randomTensor({3, 4}, rng);
+    Tensor k = randomTensor({3, 4}, rng);
+    Tensor v = randomTensor({3, 4}, rng);
+    gradCheck([&] { return causalSelfAttention(q, k, v, 2); },
+              {q, k, v}, 3e-2);
+}
+
+TEST(Tensor, CrossEntropyForward)
+{
+    // Uniform logits -> loss = log(vocab).
+    Tensor logits(Shape{2, 4}, std::vector<float>(8, 0.0f), true);
+    Tensor loss = crossEntropy(logits, {1, 2});
+    EXPECT_NEAR(loss.data()[0], std::log(4.0), 1e-6);
+}
+
+TEST(Tensor, CrossEntropyIgnoresNegativeTargets)
+{
+    Tensor logits(Shape{2, 4}, std::vector<float>(8, 0.0f), true);
+    Tensor loss = crossEntropy(logits, {1, -1});
+    EXPECT_NEAR(loss.data()[0], std::log(4.0), 1e-6);
+    loss.backward();
+    // Ignored row contributes no gradient.
+    for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(logits.grad()[4 + j], 0.0f);
+}
+
+TEST(Tensor, CrossEntropyGrad)
+{
+    Rng rng(12);
+    Tensor logits = randomTensor({3, 5}, rng);
+    gradCheck([&] { return crossEntropy(logits, {0, 4, 2}); },
+              {logits});
+}
+
+TEST(Tensor, BackwardAccumulatesThroughSharedNodes)
+{
+    // y = x + x: dy/dx = 2.
+    Tensor x(Shape{2}, {1.0f, 2.0f}, true);
+    Tensor y = add(x, x);
+    y.backward();
+    EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+    EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+TEST(Tensor, DetachCutsTheGraph)
+{
+    Tensor x(Shape{2}, {3.0f, 4.0f}, true);
+    Tensor y = scale(x, 2.0f);
+    Tensor leaf = y.detachAsLeaf();
+    EXPECT_EQ(leaf.data(), y.data());
+    Tensor z = scale(leaf, 5.0f);
+    z.backward();
+    EXPECT_FLOAT_EQ(leaf.grad()[0], 5.0f);
+    // x is unaffected: the graph was cut.
+    EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Tensor, ChainedGraphGradCheck)
+{
+    // A composite expression exercising several ops end to end.
+    Rng rng(13);
+    Tensor x = randomTensor({3, 4}, rng);
+    Tensor w = randomTensor({4, 4}, rng);
+    Tensor b = randomTensor({4}, rng);
+    gradCheck(
+        [&] {
+            return meanAll(
+                gelu(addRowBroadcast(matmul(x, w), b)));
+        },
+        {x, w, b});
+}
+
+} // namespace
+} // namespace mobius

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Trace recorder tests, plus trace-driven verification that the
+ * *executed* Mobius schedule satisfies the paper's pipeline-order
+ * constraints (Eq. 8-11) — not just the analytic evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "runtime/api.hh"
+#include "simcore/trace.hh"
+
+namespace mobius
+{
+namespace
+{
+
+TEST(TraceRecorder, TrackAndNameQueries)
+{
+    TraceRecorder rec;
+    rec.record({"gpu0.compute", "F1,0", "compute", 2.0, 3.0});
+    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 1.0});
+    rec.record({"gpu1.compute", "F1,1", "compute", 1.5, 2.5});
+
+    auto t0 = rec.onTrack("gpu0.compute");
+    ASSERT_EQ(t0.size(), 2u);
+    EXPECT_EQ(t0[0].name, "F0,0"); // sorted by start
+    EXPECT_EQ(t0[1].name, "F1,0");
+
+    auto f11 = rec.named("F1,1");
+    ASSERT_EQ(f11.size(), 1u);
+    EXPECT_DOUBLE_EQ(f11[0].duration(), 1.0);
+}
+
+TEST(TraceRecorder, ChromeJsonWellFormed)
+{
+    TraceRecorder rec;
+    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 0.5});
+    rec.record({"gpu0.h2d", "S1.fwd", "transfer", 0.1, 0.4});
+    std::string json = rec.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"F0,0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Balanced braces/brackets.
+    int depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceRecorder, AsciiGanttRendersEveryTrack)
+{
+    TraceRecorder rec;
+    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 0.5});
+    rec.record({"gpu1.compute", "F1,0", "compute", 0.5, 1.0});
+    std::string g = rec.toAsciiGantt(40);
+    EXPECT_NE(g.find("gpu0.compute"), std::string::npos);
+    EXPECT_NE(g.find("gpu1.compute"), std::string::npos);
+    EXPECT_NE(g.find("F"), std::string::npos);
+}
+
+/** Runs one Mobius step and exposes the trace. */
+class MobiusTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        server_ = std::make_unique<Server>(
+            makeCommodityServer({2, 2}));
+        work_ = std::make_unique<Workload>(gpt8b(), *server_);
+        plan_ = planMobius(*server_, work_->cost());
+        ctx_ = std::make_unique<RunContext>(*server_);
+        MobiusExecutor exec(*ctx_, work_->cost(), plan_.partition,
+                            plan_.mapping);
+        stats_ = exec.run();
+        S_ = plan_.stageCount();
+        M_ = work_->cost().cfg().numMicrobatches;
+    }
+
+    /** The unique span named @p name; fails the test if absent. */
+    TraceSpan
+    span(const std::string &name)
+    {
+        auto v = ctx_->trace().named(name);
+        EXPECT_EQ(v.size(), 1u) << name;
+        return v.empty() ? TraceSpan{} : v[0];
+    }
+
+    std::unique_ptr<Server> server_;
+    std::unique_ptr<Workload> work_;
+    MobiusPlan plan_;
+    std::unique_ptr<RunContext> ctx_;
+    StepStats stats_;
+    int S_ = 0;
+    int M_ = 0;
+};
+
+TEST_F(MobiusTraceTest, EveryMicrobatchExecutesOnce)
+{
+    for (int j = 0; j < S_; ++j) {
+        for (int m = 0; m < M_; ++m) {
+            EXPECT_EQ(
+                ctx_->trace().named(strfmt("F%d,%d", j, m)).size(),
+                1u);
+            EXPECT_EQ(
+                ctx_->trace().named(strfmt("B%d,%d", j, m)).size(),
+                1u);
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, Eq8ActivationOrder)
+{
+    // A stage cannot start a microbatch before its predecessor
+    // finished that microbatch (plus transfer, which only adds).
+    for (int j = 1; j < S_; ++j) {
+        for (int m = 0; m < M_; ++m) {
+            EXPECT_GE(span(strfmt("F%d,%d", j, m)).start,
+                      span(strfmt("F%d,%d", j - 1, m)).end - 1e-9);
+            EXPECT_GE(span(strfmt("B%d,%d", j - 1, m)).start,
+                      span(strfmt("B%d,%d", j, m)).end - 1e-9);
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, Eq10MicrobatchesSequentialPerStage)
+{
+    for (int j = 0; j < S_; ++j) {
+        for (int m = 1; m < M_; ++m) {
+            EXPECT_GE(span(strfmt("F%d,%d", j, m)).start,
+                      span(strfmt("F%d,%d", j, m - 1)).end - 1e-9);
+            EXPECT_GE(span(strfmt("B%d,%d", j, m)).start,
+                      span(strfmt("B%d,%d", j, m - 1)).end - 1e-9);
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, Eq11BackwardAfterForward)
+{
+    EXPECT_GE(span(strfmt("B%d,0", S_ - 1)).start,
+              span(strfmt("F%d,%d", S_ - 1, M_ - 1)).end - 1e-9);
+}
+
+TEST_F(MobiusTraceTest, Eq9WeightsBeforeCompute)
+{
+    // A stage's first forward starts only after its weight load
+    // finished (the load may be split into chunks; take the last).
+    for (int j = 0; j < S_; ++j) {
+        auto loads = ctx_->trace().named(strfmt("S%d.fwd", j));
+        ASSERT_FALSE(loads.empty()) << "stage " << j;
+        double load_end = 0;
+        for (const auto &l : loads)
+            load_end = std::max(load_end, l.end);
+        EXPECT_GE(span(strfmt("F%d,0", j)).start, load_end - 1e-9);
+    }
+}
+
+TEST_F(MobiusTraceTest, ComputeSpansNeverOverlapPerGpu)
+{
+    for (int g = 0; g < ctx_->numGpus(); ++g) {
+        auto spans = ctx_->trace().onTrack(
+            "gpu" + std::to_string(g) + ".compute");
+        for (std::size_t i = 1; i < spans.size(); ++i) {
+            EXPECT_GE(spans[i].start, spans[i - 1].end - 1e-9)
+                << "gpu " << g << " span " << i;
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, PrefetchOverlapsPredecessorCompute)
+{
+    // The point of §3.1: at least one stage's forward weight load
+    // overlaps some earlier compute span on the same GPU.
+    bool overlapped = false;
+    for (int j = ctx_->numGpus(); j < S_ && !overlapped; ++j) {
+        auto loads = ctx_->trace().named(strfmt("S%d.fwd", j));
+        if (loads.empty())
+            continue;
+        int gpu = plan_.mapping.gpuOf(j);
+        auto computes = ctx_->trace().onTrack(
+            "gpu" + std::to_string(gpu) + ".compute");
+        for (const auto &l : loads) {
+            for (const auto &c : computes) {
+                if (l.start < c.end - 1e-9 &&
+                    c.start < l.end - 1e-9) {
+                    overlapped = true;
+                    break;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(overlapped);
+}
+
+TEST_F(MobiusTraceTest, GanttAndJsonExportWork)
+{
+    EXPECT_FALSE(ctx_->trace().empty());
+    std::string json = ctx_->trace().toChromeJson();
+    EXPECT_GT(json.size(), 1000u);
+    std::string gantt = ctx_->trace().toAsciiGantt();
+    EXPECT_NE(gantt.find("gpu0.compute"), std::string::npos);
+}
+
+TEST(PrefetchAblation, PrefetchHelpsWhenLoadsAreCoarse)
+{
+    // Prefetch matters most for coarse stages on uncontended links
+    // (under a shared root complex, prefetch flows fair-share
+    // bandwidth away from other GPUs' critical loads and the net
+    // gain shrinks — see EXPERIMENTS.md). The pipeline also absorbs
+    // single blocking stalls, so the gain is a few percent, not the
+    // full load time.
+    Server server = makeCommodityServer({1, 1, 1, 1});
+    Workload work(gpt15b(), server, 4);
+    Partition p = uniformPartition(work.cost().numLayers(), 11);
+    Mapping map = crossMapping(server.topo, 11).mapping;
+
+    auto run = [&](int lookahead) {
+        MobiusExecutorConfig cfg;
+        cfg.prefetchLookahead = lookahead;
+        RunContext ctx(server);
+        MobiusExecutor exec(ctx, work.cost(), p, map, cfg);
+        return exec.run().stepTime;
+    };
+    double without = run(0);
+    double with = run(1);
+    EXPECT_LT(with, without * 0.99);
+}
+
+TEST(SsdTierAblation, NvmeRateCapSlowsWeightLoads)
+{
+    // §3.1's rationale for DRAM-only offload: an SSD-rate source
+    // bottlenecks the pipeline.
+    Server server = makeCommodityServer({2, 2});
+    Workload work(gpt15b(), server);
+    MobiusPlan plan = planMobius(server, work.cost());
+
+    MobiusExecutorConfig dram;
+    MobiusExecutorConfig ssd;
+    ssd.weightSourceRateCap = 3.0e9; // NVMe-class read bandwidth
+    StepStats a = runMobiusStep(server, work.cost(), plan, dram);
+    StepStats b = runMobiusStep(server, work.cost(), plan, ssd);
+    EXPECT_GT(b.stepTime, a.stepTime * 1.5);
+}
+
+} // namespace
+} // namespace mobius

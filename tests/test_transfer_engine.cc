@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the transfer engine: copy-engine serialisation,
+ * priorities, staging through DRAM, contention, and stats/usage
+ * tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/server.hh"
+#include "xfer/compute_engine.hh"
+#include "xfer/transfer_engine.hh"
+
+namespace mobius
+{
+namespace
+{
+
+/** Test fixture with a Topo 2+2 commodity box. */
+class TransferEngineTest : public ::testing::Test
+{
+  protected:
+    TransferEngineTest()
+        : server_(makeCommodityServer({2, 2})),
+          usage_(queue_, server_.topo.numGpus()),
+          engine_(queue_, server_.topo, &usage_, cfg())
+    {}
+
+    static TransferEngineConfig
+    cfg()
+    {
+        TransferEngineConfig c;
+        c.setupLatency = 0.0; // exact arithmetic in most tests
+        return c;
+    }
+
+    EventQueue queue_;
+    Server server_;
+    UsageTracker usage_;
+    TransferEngine engine_;
+};
+
+TEST_F(TransferEngineTest, SingleUploadRunsAtLinkBandwidth)
+{
+    const Bytes bytes = 131 * 100 * MiB / 100; // ~131 MiB
+    double done_at = -1.0;
+    TransferRequest req;
+    req.src = Endpoint::dram();
+    req.dst = Endpoint::gpuAt(0);
+    req.bytes = bytes;
+    req.kind = TrafficKind::Parameter;
+    req.onComplete = [&] { done_at = queue_.now(); };
+    engine_.submit(req);
+    queue_.run();
+
+    double expect = static_cast<double>(bytes) / kPcie3x16Bw;
+    EXPECT_NEAR(done_at, expect, expect * 1e-6);
+    EXPECT_EQ(engine_.stats().bytesOf(TrafficKind::Parameter), bytes);
+
+    ASSERT_EQ(engine_.stats().samples().size(), 1u);
+    EXPECT_NEAR(engine_.stats().samples()[0].bandwidth, kPcie3x16Bw,
+                1e3);
+}
+
+TEST_F(TransferEngineTest, SameRootComplexContendsHalfBandwidth)
+{
+    // GPUs 0 and 1 share rc0: simultaneous uploads halve each rate.
+    const Bytes bytes = 1 * GiB;
+    int done = 0;
+    double finish = 0.0;
+    for (int g = 0; g < 2; ++g) {
+        TransferRequest req;
+        req.src = Endpoint::dram();
+        req.dst = Endpoint::gpuAt(g);
+        req.bytes = bytes;
+        req.onComplete = [&] {
+            ++done;
+            finish = queue_.now();
+        };
+        engine_.submit(req);
+    }
+    queue_.run();
+    EXPECT_EQ(done, 2);
+    double expect = static_cast<double>(bytes) / (kPcie3x16Bw / 2.0);
+    EXPECT_NEAR(finish, expect, expect * 1e-6);
+}
+
+TEST_F(TransferEngineTest, DifferentRootComplexesNoContention)
+{
+    // GPUs 0 and 2 are under different RCs: full bandwidth each —
+    // the mechanism behind cross mapping (§3.3).
+    const Bytes bytes = 1 * GiB;
+    double finish = 0.0;
+    for (int g : {0, 2}) {
+        TransferRequest req;
+        req.src = Endpoint::dram();
+        req.dst = Endpoint::gpuAt(g);
+        req.bytes = bytes;
+        req.onComplete = [&] { finish = queue_.now(); };
+        engine_.submit(req);
+    }
+    queue_.run();
+    double expect = static_cast<double>(bytes) / kPcie3x16Bw;
+    EXPECT_NEAR(finish, expect, expect * 1e-6);
+}
+
+TEST_F(TransferEngineTest, OppositeDirectionsDoNotContend)
+{
+    // Full-duplex: an upload to GPU0 and a download from GPU1 (same
+    // RC) both run at full rate.
+    const Bytes bytes = 1 * GiB;
+    double f0 = 0, f1 = 0;
+    TransferRequest up;
+    up.src = Endpoint::dram();
+    up.dst = Endpoint::gpuAt(0);
+    up.bytes = bytes;
+    up.onComplete = [&] { f0 = queue_.now(); };
+    engine_.submit(up);
+
+    TransferRequest down;
+    down.src = Endpoint::gpuAt(1);
+    down.dst = Endpoint::dram();
+    down.bytes = bytes;
+    down.onComplete = [&] { f1 = queue_.now(); };
+    engine_.submit(down);
+
+    queue_.run();
+    double expect = static_cast<double>(bytes) / kPcie3x16Bw;
+    EXPECT_NEAR(f0, expect, expect * 1e-6);
+    EXPECT_NEAR(f1, expect, expect * 1e-6);
+}
+
+TEST_F(TransferEngineTest, CopyEngineSerialisesSameDirection)
+{
+    // Two uploads to the SAME GPU share its single H2D engine: they
+    // run back-to-back, not concurrently.
+    const Bytes bytes = 1 * GiB;
+    std::vector<double> finishes;
+    for (int i = 0; i < 2; ++i) {
+        TransferRequest req;
+        req.src = Endpoint::dram();
+        req.dst = Endpoint::gpuAt(0);
+        req.bytes = bytes;
+        req.onComplete = [&] { finishes.push_back(queue_.now()); };
+        engine_.submit(req);
+    }
+    queue_.run();
+    double one = static_cast<double>(bytes) / kPcie3x16Bw;
+    ASSERT_EQ(finishes.size(), 2u);
+    EXPECT_NEAR(finishes[0], one, one * 1e-6);
+    EXPECT_NEAR(finishes[1], 2 * one, one * 1e-6);
+}
+
+TEST_F(TransferEngineTest, PriorityReordersWaitingTransfers)
+{
+    // Three queued uploads to GPU0; the last-submitted has the most
+    // urgent priority and must run before the earlier low-priority
+    // one (cudaStreamCreateWithPriority behaviour, §3.3).
+    const Bytes bytes = 100 * MiB;
+    std::vector<int> order;
+    auto submit = [&](int id, int prio) {
+        TransferRequest req;
+        req.src = Endpoint::dram();
+        req.dst = Endpoint::gpuAt(0);
+        req.bytes = bytes;
+        req.priority = prio;
+        req.onComplete = [&, id] { order.push_back(id); };
+        engine_.submit(req);
+    };
+    submit(0, 5);  // starts immediately (engine idle)
+    submit(1, 5);
+    submit(2, 1);  // urgent: jumps ahead of 1
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(TransferEngineTest, GpuToGpuStagedThroughDram)
+{
+    // No P2P on the commodity box: GPU0 -> GPU1 is a cut-through
+    // staged flow; both GPUs are under rc0 so the up and down legs
+    // use opposite directions and the flow runs at link rate.
+    const Bytes bytes = 1 * GiB;
+    double finish = 0.0;
+    TransferRequest req;
+    req.src = Endpoint::gpuAt(0);
+    req.dst = Endpoint::gpuAt(1);
+    req.bytes = bytes;
+    req.kind = TrafficKind::Activation;
+    req.onComplete = [&] { finish = queue_.now(); };
+    engine_.submit(req);
+    queue_.run();
+    double expect = static_cast<double>(bytes) / kPcie3x16Bw;
+    EXPECT_NEAR(finish, expect, expect * 1e-6);
+    EXPECT_EQ(engine_.stats().bytesOf(TrafficKind::Activation),
+              bytes);
+}
+
+TEST_F(TransferEngineTest, StagedTransferContendsWithUpload)
+{
+    // GPU2 -> GPU3 staging (down-leg into rc1) vs DRAM -> GPU3
+    // upload: both use rc1's down direction, halving rates.
+    const Bytes bytes = 1 * GiB;
+    double f_staged = 0, f_up = 0;
+    TransferRequest staged;
+    staged.src = Endpoint::gpuAt(2);
+    staged.dst = Endpoint::gpuAt(3);
+    staged.bytes = bytes;
+    staged.onComplete = [&] { f_staged = queue_.now(); };
+    engine_.submit(staged);
+
+    TransferRequest up;
+    up.src = Endpoint::dram();
+    // GPU2's H2D engine is free (staged flow holds GPU2-D2H and
+    // GPU3-H2D), so route the upload to GPU2.
+    up.dst = Endpoint::gpuAt(2);
+    up.bytes = bytes;
+    up.onComplete = [&] { f_up = queue_.now(); };
+    engine_.submit(up);
+
+    queue_.run();
+    // Both cross the rc1 "down" pool concurrently.
+    double expect = static_cast<double>(bytes) / (kPcie3x16Bw / 2);
+    EXPECT_NEAR(f_staged, expect, expect * 1e-5);
+    EXPECT_NEAR(f_up, expect, expect * 1e-5);
+}
+
+TEST_F(TransferEngineTest, SetupLatencyDelaysCompletion)
+{
+    TransferEngineConfig cfg;
+    cfg.setupLatency = 1e-3;
+    EventQueue q;
+    TransferEngine eng(q, server_.topo, nullptr, cfg);
+    const Bytes bytes = 131 * MiB;
+    double finish = 0.0;
+    TransferRequest req;
+    req.src = Endpoint::dram();
+    req.dst = Endpoint::gpuAt(0);
+    req.bytes = bytes;
+    req.onComplete = [&] { finish = q.now(); };
+    eng.submit(req);
+    q.run();
+    double data = static_cast<double>(bytes) / kPcie3x16Bw;
+    EXPECT_NEAR(finish, data + 1e-3, data * 1e-6);
+}
+
+TEST_F(TransferEngineTest, ZeroByteTransferCompletes)
+{
+    bool done = false;
+    TransferRequest req;
+    req.src = Endpoint::dram();
+    req.dst = Endpoint::gpuAt(0);
+    req.bytes = 0;
+    req.onComplete = [&] { done = true; };
+    engine_.submit(req);
+    queue_.run();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(engine_.idle());
+}
+
+TEST_F(TransferEngineTest, UsageTrackerSeparatesOverlap)
+{
+    // GPU0: 1 s of compute starting at t=0; a 1 GiB upload also at
+    // t=0 (~0.082 s). The upload is fully overlapped.
+    ComputeEngine compute(queue_, &usage_, 0);
+    compute.submit(1.0, nullptr);
+
+    TransferRequest req;
+    req.src = Endpoint::dram();
+    req.dst = Endpoint::gpuAt(0);
+    req.bytes = 1 * GiB;
+    engine_.submit(req);
+    queue_.run();
+
+    double xfer = static_cast<double>(1 * GiB) / kPcie3x16Bw;
+    EXPECT_NEAR(usage_.computeTime(0), 1.0, 1e-9);
+    EXPECT_NEAR(usage_.overlappedCommTime(0), xfer, 1e-6);
+    EXPECT_NEAR(usage_.exposedCommTime(0), 0.0, 1e-9);
+}
+
+TEST_F(TransferEngineTest, UsageTrackerExposedWhenIdle)
+{
+    TransferRequest req;
+    req.src = Endpoint::dram();
+    req.dst = Endpoint::gpuAt(1);
+    req.bytes = 1 * GiB;
+    engine_.submit(req);
+    queue_.run();
+    double xfer = static_cast<double>(1 * GiB) / kPcie3x16Bw;
+    EXPECT_NEAR(usage_.exposedCommTime(1), xfer, 1e-6);
+    EXPECT_NEAR(usage_.overlappedCommTime(1), 0.0, 1e-9);
+}
+
+TEST_F(TransferEngineTest, NvlinkPeerTransferFast)
+{
+    Server dc = makeDataCenterServer(4);
+    EventQueue q;
+    TransferEngine eng(q, dc.topo, nullptr, cfg());
+    const Bytes bytes = 1 * GiB;
+    double finish = 0.0;
+    TransferRequest req;
+    req.src = Endpoint::gpuAt(0);
+    req.dst = Endpoint::gpuAt(1);
+    req.bytes = bytes;
+    req.onComplete = [&] { finish = q.now(); };
+    eng.submit(req);
+    q.run();
+    double expect = static_cast<double>(bytes) / kNvlinkPairBw;
+    EXPECT_NEAR(finish, expect, expect * 1e-6);
+}
+
+TEST_F(TransferEngineTest, ComputeEngineFifoAndBusyTime)
+{
+    ComputeEngine compute(queue_, nullptr, 0);
+    std::vector<int> order;
+    compute.submit(0.5, [&] { order.push_back(0); });
+    compute.submit(0.25, [&] { order.push_back(1); });
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_DOUBLE_EQ(compute.busyTime(), 0.75);
+    EXPECT_DOUBLE_EQ(queue_.now(), 0.75);
+    EXPECT_TRUE(compute.idle());
+}
+
+} // namespace
+} // namespace mobius

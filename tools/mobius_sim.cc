@@ -1,0 +1,183 @@
+/**
+ * @file
+ * mobius_sim — command-line driver for one-off experiments.
+ *
+ *     mobius_sim --model 15b --topo 2+2 --system mobius
+ *     mobius_sim --model 8b --topo 4+4 --system deepspeed --json
+ *     mobius_sim --model 15b --system mobius --mapping seq \
+ *                --partition min --mbs 2 --trace out.json
+ *     mobius_sim --model 8b --dc --system deepspeed
+ *     mobius_sim --model custom --hidden 6144 --blocks 48 ...
+ *
+ * Options:
+ *   --model 3b|8b|15b|51b|custom   (default 15b)
+ *   --hidden/--blocks/--heads N    (custom model only)
+ *   --topo 4|2+2|1+3|4+4|...       root-complex groups (default 2+2)
+ *   --dc                           data-center server (4x V100)
+ *   --system mobius|deepspeed|gpipe|dspipe|tp   (default mobius)
+ *   --mbs N                        microbatch size (default Table 3)
+ *   --microbatches N               per step (default = #GPUs)
+ *   --partition mip|min|max        (default mip)
+ *   --mapping cross|seq            (default cross)
+ *   --cpu-adam PARAMS_PER_SEC      CPU optimizer model (default off)
+ *   --steps N                      fine-tuning length estimate
+ *   --json                         machine-readable output
+ *   --trace FILE                   write Chrome tracing JSON
+ *   --gantt                        print the ASCII schedule
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/args.hh"
+#include "runtime/report.hh"
+
+using namespace mobius;
+
+namespace
+{
+
+GptConfig
+pickModel(const Args &args)
+{
+    std::string name = args.get("model", "15b");
+    if (name == "3b")
+        return gpt3b();
+    if (name == "8b")
+        return gpt8b();
+    if (name == "15b")
+        return gpt15b();
+    if (name == "51b")
+        return gpt51b();
+    if (name == "custom") {
+        GptConfig cfg;
+        cfg.name = "custom";
+        cfg.hidden = args.getInt("hidden", 4096);
+        cfg.numBlocks = args.getInt("blocks", 40);
+        cfg.heads = args.getInt("heads", cfg.hidden / 128);
+        cfg.microbatchSize = 1;
+        return cfg;
+    }
+    fatal("unknown --model '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args(argc, argv);
+
+        GptConfig model = pickModel(args);
+        Server server = args.has("dc")
+            ? makeDataCenterServer(4)
+            : makeCommodityServer(
+                  parseTopoGroups(args.get("topo", "2+2")));
+        Workload work(model, server, args.getInt("mbs", -1),
+                      args.getInt("microbatches", -1));
+
+        std::string system = args.get("system", "mobius");
+        double cpu_adam = args.getDouble("cpu-adam", 0.0);
+        bool json = args.has("json");
+        std::string trace_file = args.get("trace", "");
+        bool gantt = args.has("gantt");
+        int steps = args.getInt("steps", 0);
+
+        PlanOptions popts;
+        std::string part = args.get("partition", "mip");
+        popts.partition = part == "mip" ? PartitionAlgo::Mip
+            : part == "min"             ? PartitionAlgo::MinStage
+            : part == "max"             ? PartitionAlgo::MaxStage
+            : (fatal("unknown --partition '%s'", part.c_str()),
+               PartitionAlgo::Mip);
+        std::string mapping = args.get("mapping", "cross");
+        popts.mapping = mapping == "cross" ? MappingAlgo::Cross
+            : mapping == "seq" ? MappingAlgo::Sequential
+            : (fatal("unknown --mapping '%s'", mapping.c_str()),
+               MappingAlgo::Cross);
+        args.rejectUnused();
+
+        StepStats stats;
+        std::string plan_json;
+        RunContext ctx(server, {}, cpu_adam);
+        if (system == "mobius") {
+            MobiusPlan plan = planMobius(server, work.cost(), popts);
+            plan_json = planToJson(plan);
+            MobiusExecutor exec(ctx, work.cost(), plan.partition,
+                                plan.mapping);
+            stats = exec.run();
+        } else if (system == "deepspeed") {
+            ZeroHeteroExecutor exec(ctx, work.cost());
+            stats = exec.run();
+        } else if (system == "gpipe" || system == "dspipe") {
+            Partition p = balancedComputePartition(
+                work.cost(), server.topo.numGpus());
+            Mapping m = sequentialMapping(server.topo,
+                                          server.topo.numGpus());
+            PipelineExecutor exec(ctx, work.cost(), p, m,
+                                  system == "gpipe"
+                                      ? PipelineSchedule::GPipe
+                                      : PipelineSchedule::OneFOneB);
+            stats = exec.run();
+        } else if (system == "tp") {
+            TensorParallelExecutor exec(ctx, work.cost());
+            stats = exec.run();
+        } else {
+            fatal("unknown --system '%s'", system.c_str());
+        }
+
+        Bytes p32 = work.model().totalParamBytesFp32();
+        if (json) {
+            std::printf("{\"server\":\"%s\",\"model\":\"%s\","
+                        "\"stats\":%s",
+                        server.name.c_str(), model.name.c_str(),
+                        stepStatsToJson(stats, p32).c_str());
+            if (!plan_json.empty())
+                std::printf(",\"plan\":%s", plan_json.c_str());
+            if (steps > 0) {
+                auto est = estimateFineTune(server, stats.stepTime,
+                                            steps);
+                std::printf(",\"finetune\":{\"steps\":%d,"
+                            "\"hours\":%.4f,\"dollars\":%.2f}",
+                            steps, est.hours, est.dollars);
+            }
+            std::printf("}\n");
+        } else {
+            std::printf("server: %s\nmodel:  %s (%s FP32)\n"
+                        "system: %s\n\n",
+                        server.name.c_str(), model.name.c_str(),
+                        formatBytes(p32).c_str(),
+                        stats.system.c_str());
+            std::printf("step time       : %s\n",
+                        formatSeconds(stats.stepTime).c_str());
+            std::printf("traffic         : %s (%.2fx model)\n",
+                        formatBytes(stats.traffic.totalBytes())
+                            .c_str(),
+                        stats.trafficRatio(p32));
+            std::printf("exposed comm    : %.1f%%\n",
+                        100 * stats.exposedCommFraction());
+            if (steps > 0) {
+                auto est = estimateFineTune(server, stats.stepTime,
+                                            steps);
+                std::printf("%d steps        : %.1f h, $%.2f\n",
+                            steps, est.hours, est.dollars);
+            }
+        }
+
+        if (!trace_file.empty()) {
+            std::ofstream os(trace_file);
+            os << ctx.trace().toChromeJson();
+            if (!json)
+                std::printf("trace           : %s\n",
+                            trace_file.c_str());
+        }
+        if (gantt)
+            std::printf("\n%s\n",
+                        ctx.trace().toAsciiGantt(96).c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
