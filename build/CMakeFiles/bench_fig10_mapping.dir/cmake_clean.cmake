@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mapping.dir/bench/bench_fig10_mapping.cc.o"
+  "CMakeFiles/bench_fig10_mapping.dir/bench/bench_fig10_mapping.cc.o.d"
+  "bench/bench_fig10_mapping"
+  "bench/bench_fig10_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_datacenter.dir/bench/bench_fig15_datacenter.cc.o"
+  "CMakeFiles/bench_fig15_datacenter.dir/bench/bench_fig15_datacenter.cc.o.d"
+  "bench/bench_fig15_datacenter"
+  "bench/bench_fig15_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

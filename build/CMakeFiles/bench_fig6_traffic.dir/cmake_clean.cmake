@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_traffic.dir/bench/bench_fig6_traffic.cc.o"
+  "CMakeFiles/bench_fig6_traffic.dir/bench/bench_fig6_traffic.cc.o.d"
+  "bench/bench_fig6_traffic"
+  "bench/bench_fig6_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

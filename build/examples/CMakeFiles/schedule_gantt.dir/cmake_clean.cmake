@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_gantt.dir/schedule_gantt.cpp.o"
+  "CMakeFiles/schedule_gantt.dir/schedule_gantt.cpp.o.d"
+  "schedule_gantt"
+  "schedule_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_finetune.dir/tiny_finetune.cpp.o"
+  "CMakeFiles/tiny_finetune.dir/tiny_finetune.cpp.o.d"
+  "tiny_finetune"
+  "tiny_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

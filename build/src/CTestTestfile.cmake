@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("simcore")
+subdirs("hw")
+subdirs("xfer")
+subdirs("model")
+subdirs("profile")
+subdirs("solver")
+subdirs("plan")
+subdirs("runtime")
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("train")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_base.dir/args.cc.o"
+  "CMakeFiles/mobius_base.dir/args.cc.o.d"
+  "CMakeFiles/mobius_base.dir/logging.cc.o"
+  "CMakeFiles/mobius_base.dir/logging.cc.o.d"
+  "CMakeFiles/mobius_base.dir/rng.cc.o"
+  "CMakeFiles/mobius_base.dir/rng.cc.o.d"
+  "CMakeFiles/mobius_base.dir/units.cc.o"
+  "CMakeFiles/mobius_base.dir/units.cc.o.d"
+  "libmobius_base.a"
+  "libmobius_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_data.dir/corpus.cc.o"
+  "CMakeFiles/mobius_data.dir/corpus.cc.o.d"
+  "libmobius_data.a"
+  "libmobius_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/mobius_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/mobius_hw.dir/server.cc.o"
+  "CMakeFiles/mobius_hw.dir/server.cc.o.d"
+  "CMakeFiles/mobius_hw.dir/topology.cc.o"
+  "CMakeFiles/mobius_hw.dir/topology.cc.o.d"
+  "libmobius_hw.a"
+  "libmobius_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

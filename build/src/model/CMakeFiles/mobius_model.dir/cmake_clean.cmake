@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_model.dir/cost_model.cc.o"
+  "CMakeFiles/mobius_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/mobius_model.dir/model.cc.o"
+  "CMakeFiles/mobius_model.dir/model.cc.o.d"
+  "libmobius_model.a"
+  "libmobius_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

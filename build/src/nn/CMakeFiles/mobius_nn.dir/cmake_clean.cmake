@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_nn.dir/adam.cc.o"
+  "CMakeFiles/mobius_nn.dir/adam.cc.o.d"
+  "CMakeFiles/mobius_nn.dir/module.cc.o"
+  "CMakeFiles/mobius_nn.dir/module.cc.o.d"
+  "libmobius_nn.a"
+  "libmobius_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/mapping.cc" "src/plan/CMakeFiles/mobius_plan.dir/mapping.cc.o" "gcc" "src/plan/CMakeFiles/mobius_plan.dir/mapping.cc.o.d"
+  "/root/repo/src/plan/partition.cc" "src/plan/CMakeFiles/mobius_plan.dir/partition.cc.o" "gcc" "src/plan/CMakeFiles/mobius_plan.dir/partition.cc.o.d"
+  "/root/repo/src/plan/partition_algos.cc" "src/plan/CMakeFiles/mobius_plan.dir/partition_algos.cc.o" "gcc" "src/plan/CMakeFiles/mobius_plan.dir/partition_algos.cc.o.d"
+  "/root/repo/src/plan/partition_mip.cc" "src/plan/CMakeFiles/mobius_plan.dir/partition_mip.cc.o" "gcc" "src/plan/CMakeFiles/mobius_plan.dir/partition_mip.cc.o.d"
+  "/root/repo/src/plan/pipeline_cost.cc" "src/plan/CMakeFiles/mobius_plan.dir/pipeline_cost.cc.o" "gcc" "src/plan/CMakeFiles/mobius_plan.dir/pipeline_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mobius_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mobius_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mobius_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mobius_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_plan.dir/mapping.cc.o"
+  "CMakeFiles/mobius_plan.dir/mapping.cc.o.d"
+  "CMakeFiles/mobius_plan.dir/partition.cc.o"
+  "CMakeFiles/mobius_plan.dir/partition.cc.o.d"
+  "CMakeFiles/mobius_plan.dir/partition_algos.cc.o"
+  "CMakeFiles/mobius_plan.dir/partition_algos.cc.o.d"
+  "CMakeFiles/mobius_plan.dir/partition_mip.cc.o"
+  "CMakeFiles/mobius_plan.dir/partition_mip.cc.o.d"
+  "CMakeFiles/mobius_plan.dir/pipeline_cost.cc.o"
+  "CMakeFiles/mobius_plan.dir/pipeline_cost.cc.o.d"
+  "libmobius_plan.a"
+  "libmobius_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_profile.dir/profiler.cc.o"
+  "CMakeFiles/mobius_profile.dir/profiler.cc.o.d"
+  "libmobius_profile.a"
+  "libmobius_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

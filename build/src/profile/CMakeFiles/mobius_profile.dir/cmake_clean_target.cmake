@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmobius_profile.a"
+)

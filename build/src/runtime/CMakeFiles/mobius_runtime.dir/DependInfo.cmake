@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/api.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/api.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/api.cc.o.d"
+  "/root/repo/src/runtime/mobius_executor.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/mobius_executor.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/mobius_executor.cc.o.d"
+  "/root/repo/src/runtime/pipeline_executor.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/pipeline_executor.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/pipeline_executor.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/report.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/report.cc.o.d"
+  "/root/repo/src/runtime/tp_executor.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/tp_executor.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/tp_executor.cc.o.d"
+  "/root/repo/src/runtime/zero_executor.cc" "src/runtime/CMakeFiles/mobius_runtime.dir/zero_executor.cc.o" "gcc" "src/runtime/CMakeFiles/mobius_runtime.dir/zero_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/mobius_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/mobius_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/mobius_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mobius_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mobius_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mobius_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/mobius_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mobius_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_runtime.dir/api.cc.o"
+  "CMakeFiles/mobius_runtime.dir/api.cc.o.d"
+  "CMakeFiles/mobius_runtime.dir/mobius_executor.cc.o"
+  "CMakeFiles/mobius_runtime.dir/mobius_executor.cc.o.d"
+  "CMakeFiles/mobius_runtime.dir/pipeline_executor.cc.o"
+  "CMakeFiles/mobius_runtime.dir/pipeline_executor.cc.o.d"
+  "CMakeFiles/mobius_runtime.dir/report.cc.o"
+  "CMakeFiles/mobius_runtime.dir/report.cc.o.d"
+  "CMakeFiles/mobius_runtime.dir/tp_executor.cc.o"
+  "CMakeFiles/mobius_runtime.dir/tp_executor.cc.o.d"
+  "CMakeFiles/mobius_runtime.dir/zero_executor.cc.o"
+  "CMakeFiles/mobius_runtime.dir/zero_executor.cc.o.d"
+  "libmobius_runtime.a"
+  "libmobius_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

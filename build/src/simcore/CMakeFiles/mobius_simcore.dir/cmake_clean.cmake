@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/mobius_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/mobius_simcore.dir/trace.cc.o"
+  "CMakeFiles/mobius_simcore.dir/trace.cc.o.d"
+  "libmobius_simcore.a"
+  "libmobius_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_solver.dir/lp.cc.o"
+  "CMakeFiles/mobius_solver.dir/lp.cc.o.d"
+  "CMakeFiles/mobius_solver.dir/mip.cc.o"
+  "CMakeFiles/mobius_solver.dir/mip.cc.o.d"
+  "libmobius_solver.a"
+  "libmobius_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

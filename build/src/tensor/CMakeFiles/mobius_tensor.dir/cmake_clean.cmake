@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mobius_tensor.dir/tensor.cc.o.d"
+  "libmobius_tensor.a"
+  "libmobius_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_train.dir/trainer.cc.o"
+  "CMakeFiles/mobius_train.dir/trainer.cc.o.d"
+  "libmobius_train.a"
+  "libmobius_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

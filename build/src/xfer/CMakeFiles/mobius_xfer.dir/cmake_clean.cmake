@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_xfer.dir/fair_share.cc.o"
+  "CMakeFiles/mobius_xfer.dir/fair_share.cc.o.d"
+  "CMakeFiles/mobius_xfer.dir/stats.cc.o"
+  "CMakeFiles/mobius_xfer.dir/stats.cc.o.d"
+  "CMakeFiles/mobius_xfer.dir/transfer_engine.cc.o"
+  "CMakeFiles/mobius_xfer.dir/transfer_engine.cc.o.d"
+  "libmobius_xfer.a"
+  "libmobius_xfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_xfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

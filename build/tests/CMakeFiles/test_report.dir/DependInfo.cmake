@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/test_report.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/test_report.dir/test_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mobius_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/mobius_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mobius_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/mobius_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mobius_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/mobius_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mobius_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/mobius_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mobius_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

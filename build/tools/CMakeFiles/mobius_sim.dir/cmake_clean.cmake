@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobius_sim.dir/mobius_sim.cc.o"
+  "CMakeFiles/mobius_sim.dir/mobius_sim.cc.o.d"
+  "mobius_sim"
+  "mobius_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobius_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
