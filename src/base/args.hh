@@ -26,6 +26,7 @@ class Args
      */
     Args(int argc, const char *const *argv);
 
+    /** @return true when @p key was present on the command line. */
     bool has(const std::string &key) const;
 
     /** String option with default. */
@@ -38,6 +39,7 @@ class Args
     /** Double option with default; fatal() on malformed values. */
     double getDouble(const std::string &key, double fallback) const;
 
+    /** Non-option arguments in command-line order. */
     const std::vector<std::string> &positionals() const
     {
         return positionals_;

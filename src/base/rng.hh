@@ -17,6 +17,7 @@ namespace mobius
 class Rng
 {
   public:
+    /** Seed the four lanes from @p seed via SplitMix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
     {
         // SplitMix64 expansion of the seed into the four lanes.

@@ -17,11 +17,12 @@
 namespace mobius
 {
 
+/** A byte count; all sizes in the simulator use this type. */
 using Bytes = std::uint64_t;
 
-constexpr Bytes KiB = 1024ULL;
-constexpr Bytes MiB = 1024ULL * KiB;
-constexpr Bytes GiB = 1024ULL * MiB;
+constexpr Bytes KiB = 1024ULL;       //!< binary kilobyte
+constexpr Bytes MiB = 1024ULL * KiB; //!< binary megabyte
+constexpr Bytes GiB = 1024ULL * MiB; //!< binary gigabyte
 
 /** Decimal giga, used for bandwidths quoted in GB/s. */
 constexpr double GB = 1e9;

@@ -24,27 +24,30 @@ namespace mobius
 /** Corpus generation knobs. */
 struct CorpusConfig
 {
-    int vocab = 96;
-    int numTokens = 100000;
+    int vocab = 96;             //!< token alphabet size
+    int numTokens = 100000;     //!< stream length
     double bigramProb = 0.5;    //!< P(next = rule(prev))
-    double zipfExponent = 1.1;
-    std::uint64_t seed = 7;
+    double zipfExponent = 1.1;  //!< unigram skew
+    std::uint64_t seed = 7;     //!< generator seed
 };
 
 /** A deterministic synthetic token stream. */
 class SyntheticCorpus
 {
   public:
+    /** Generate the stream for @p cfg. */
     explicit SyntheticCorpus(const CorpusConfig &cfg = {});
 
+    /** The full token stream. */
     const std::vector<int> &tokens() const { return tokens_; }
+    /** @return token alphabet size. */
     int vocab() const { return cfg_.vocab; }
 
     /** One LM training sample: inputs and shifted targets. */
     struct LmSample
     {
-        std::vector<int> input;
-        std::vector<int> target;
+        std::vector<int> input;  //!< tokens [t, t+seq)
+        std::vector<int> target; //!< tokens [t+1, t+seq+1)
     };
 
     /** Sample a random contiguous window of @p seq_len tokens. */

@@ -20,7 +20,7 @@ namespace mobius
 /** Static description of a GPU device type. */
 struct GpuSpec
 {
-    std::string name;
+    std::string name;       //!< marketing name ("RTX 3090-Ti", ...)
     double fp32Flops;       //!< peak FP32 FLOP/s
     double fp16Flops;       //!< peak FP16 tensor-core FLOP/s
     int tensorCores;        //!< tensor core count (Table 1)

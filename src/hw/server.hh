@@ -24,10 +24,10 @@ namespace mobius
 /** A complete server: interconnect + DRAM + hourly price. */
 struct Server
 {
-    std::string name;
-    Topology topo;
-    Bytes dramBytes = 0;
-    double dollarsPerHour = 0.0;
+    std::string name;            //!< printable configuration name
+    Topology topo;               //!< interconnect + GPUs
+    Bytes dramBytes = 0;         //!< host DRAM capacity
+    double dollarsPerHour = 0.0; //!< rental price (Table 2)
 };
 
 /**

@@ -32,9 +32,9 @@ enum class NodeKind { Dram, RootComplex, Switch, Gpu };
 /** One vertex of the interconnect tree. */
 struct Node
 {
-    int id = -1;
-    NodeKind kind = NodeKind::Dram;
-    std::string name;
+    int id = -1;         //!< node id within the topology
+    NodeKind kind = NodeKind::Dram; //!< node role
+    std::string name;    //!< printable name ("gpu0", "rc1", ...)
     int parent = -1;     //!< parent node id (-1 for DRAM)
     int upLink = -1;     //!< link id towards the parent (-1 for DRAM)
     int gpuIndex = -1;   //!< dense GPU index for Gpu nodes, else -1
@@ -43,12 +43,12 @@ struct Node
 /** One full-duplex link; each direction has capacity @a capacity B/s. */
 struct Link
 {
-    int id = -1;
+    int id = -1;         //!< link id within the topology
     int nodeA = -1;      //!< parent side (or first peer for NVLink)
     int nodeB = -1;      //!< child side (or second peer)
     double capacity = 0; //!< bytes/second per direction
     bool peer = false;   //!< true for GPU-GPU (NVLink) links
-    std::string name;
+    std::string name;    //!< printable name ("rc0<->sw0", ...)
 };
 
 /**
@@ -58,21 +58,26 @@ struct Link
  */
 struct Hop
 {
-    int link = -1;
+    int link = -1;       //!< the link traversed
     bool forward = true; //!< true: nodeA -> nodeB direction
 
+    /** Capacity-pool id of this (link, direction) pair. */
     int poolId() const { return link * 2 + (forward ? 0 : 1); }
 };
 
 /** A flow endpoint: host DRAM or a GPU (by dense index). */
 struct Endpoint
 {
-    bool isDram = true;
-    int gpu = -1;
+    bool isDram = true;  //!< true when the endpoint is host DRAM
+    int gpu = -1;        //!< dense GPU index when !isDram, else -1
 
+    /** @return the host-DRAM endpoint. */
     static Endpoint dram() { return Endpoint{true, -1}; }
+
+    /** @return the endpoint for GPU @p g. */
     static Endpoint gpuAt(int g) { return Endpoint{false, g}; }
 
+    /** Structural equality. */
     bool
     operator==(const Endpoint &o) const
     {
@@ -106,6 +111,8 @@ class Topology
 
     /** Enable direct GPU-to-GPU routing (GPUDirect P2P). */
     void setGpudirectP2p(bool enabled) { gpudirectP2p_ = enabled; }
+
+    /** @return true when GPU-GPU flows bypass DRAM staging. */
     bool gpudirectP2p() const { return gpudirectP2p_; }
 
     int numGpus() const { return static_cast<int>(gpuNodes_.size()); }

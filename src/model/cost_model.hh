@@ -23,7 +23,7 @@ namespace mobius
 /** Knobs of one fine-tuning run. */
 struct TrainConfig
 {
-    int microbatchSize = 1;
+    int microbatchSize = 1; //!< samples per microbatch
     /** Microbatches per step, M; Mobius sets M = #GPUs (§3.1). */
     int numMicrobatches = 4;
     /** Gradient checkpointing (§3.1 assumes it; backward recomputes). */
@@ -38,13 +38,18 @@ struct TrainConfig
 class CostModel
 {
   public:
+    /** Bind a model description to a GPU spec and training knobs. */
     CostModel(const ModelDesc &model, const GpuSpec &gpu,
               TrainConfig cfg);
 
+    /** The model being costed. */
     const ModelDesc &model() const { return *model_; }
+    /** The GPU the estimates assume. */
     const GpuSpec &gpu() const { return *gpu_; }
+    /** The training configuration the estimates assume. */
     const TrainConfig &cfg() const { return cfg_; }
 
+    /** @return number of layers in the model. */
     int numLayers() const { return model_->numLayers(); }
 
     /** Forward time of layer @p i for one microbatch (seconds). */

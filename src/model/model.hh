@@ -33,9 +33,9 @@ enum class LayerType { Embedding, TransformerBlock, FinalNorm, LmHead };
 /** Analytical description of a single model layer. */
 struct LayerDesc
 {
-    std::string name;
-    LayerType type = LayerType::TransformerBlock;
-    std::uint64_t paramCount = 0;
+    std::string name;             //!< printable layer name
+    LayerType type = LayerType::TransformerBlock; //!< category
+    std::uint64_t paramCount = 0; //!< trainable parameter count
     /** Forward FLOPs for ONE sample (sequence) through this layer. */
     double fwdFlopsPerSample = 0.0;
     /** Output (boundary) activation bytes for one sample, FP16. */
@@ -49,24 +49,29 @@ struct LayerDesc
      */
     int similarityClass = 0;
 
+    /** FP16 working-weight bytes. */
     Bytes paramBytesFp16() const { return 2 * paramCount; }
+    /** FP32 master-weight bytes. */
     Bytes paramBytesFp32() const { return 4 * paramCount; }
+    /** FP16 gradient bytes. */
     Bytes gradBytesFp16() const { return 2 * paramCount; }
 };
 
 /** An ordered stack of layers. */
 struct ModelDesc
 {
-    std::string name;
-    std::vector<LayerDesc> layers;
-    int seqLen = 0;
-    int hidden = 0;
-    int heads = 0;
+    std::string name;              //!< printable model name
+    std::vector<LayerDesc> layers; //!< layers in execution order
+    int seqLen = 0;                //!< training sequence length
+    int hidden = 0;                //!< hidden (embedding) width
+    int heads = 0;                 //!< attention head count
     /** Default microbatch size from Table 3. */
     int defaultMicrobatch = 1;
 
+    /** @return number of layers in the stack. */
     int numLayers() const { return static_cast<int>(layers.size()); }
 
+    /** Total trainable parameters across all layers. */
     std::uint64_t totalParams() const;
     /** FP32 master parameter bytes (the paper's model size). */
     Bytes totalParamBytesFp32() const;
@@ -79,13 +84,13 @@ struct ModelDesc
 /** GPT-like transformer configuration (Table 3 rows). */
 struct GptConfig
 {
-    std::string name;
-    int heads = 0;
-    int hidden = 0;
-    int numBlocks = 0;
-    int microbatchSize = 1;
-    int vocab = 50257;
-    int seqLen = 512;
+    std::string name;       //!< printable name ("GPT-15B", ...)
+    int heads = 0;          //!< attention head count
+    int hidden = 0;         //!< hidden width
+    int numBlocks = 0;      //!< transformer block count
+    int microbatchSize = 1; //!< Table 3 default microbatch size
+    int vocab = 50257;      //!< vocabulary size (GPT-2 BPE)
+    int seqLen = 512;       //!< training sequence length
 };
 
 /** Table 3: 3B model (32 heads, hidden 2048, 64 layers, mbs 2). */

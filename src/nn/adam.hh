@@ -18,16 +18,17 @@ namespace mobius
 /** Adam hyperparameters. */
 struct AdamConfig
 {
-    float lr = 1e-3f;
-    float beta1 = 0.9f;
-    float beta2 = 0.999f;
-    float eps = 1e-8f;
+    float lr = 1e-3f;     //!< learning rate
+    float beta1 = 0.9f;   //!< first-moment decay
+    float beta2 = 0.999f; //!< second-moment decay
+    float eps = 1e-8f;    //!< denominator stabiliser
 };
 
 /** Adam over a fixed parameter list. */
 class Adam
 {
   public:
+    /** Own the moment buffers for @p params. */
     explicit Adam(std::vector<Tensor> params, AdamConfig cfg = {});
 
     /** Apply one update from the parameters' .grad buffers. */

@@ -54,8 +54,10 @@ class Module
 class Linear : public Module
 {
   public:
+    /** Random-init weights [in, out] via @p rng. */
     Linear(int in, int out, Rng &rng);
 
+    /** @return x W + b. */
     Tensor forward(const Tensor &x);
     std::vector<Tensor> parameters() override { return {w_, b_}; }
 
@@ -68,8 +70,10 @@ class Linear : public Module
 class LayerNormModule : public Module
 {
   public:
+    /** Identity-initialised norm over the last axis. */
     explicit LayerNormModule(int width);
 
+    /** @return normalised and affine-transformed @p x. */
     Tensor forward(const Tensor &x);
     std::vector<Tensor> parameters() override { return {g_, b_}; }
 
@@ -100,12 +104,12 @@ class TransformerBlockModule : public Module
 /** Mini GPT configuration. */
 struct MiniGptConfig
 {
-    int vocab = 96;
-    int width = 64;
-    int heads = 4;
-    int blocks = 4;
-    int seqLen = 64;
-    std::uint64_t seed = 1234;
+    int vocab = 96;            //!< token alphabet size
+    int width = 64;            //!< hidden width
+    int heads = 4;             //!< attention heads
+    int blocks = 4;            //!< transformer blocks
+    int seqLen = 64;           //!< maximum sequence length
+    std::uint64_t seed = 1234; //!< weight-init seed
 };
 
 /**
@@ -115,8 +119,10 @@ struct MiniGptConfig
 class MiniGpt : public Module
 {
   public:
+    /** Build and random-init the model for @p cfg. */
     explicit MiniGpt(const MiniGptConfig &cfg);
 
+    /** The configuration the model was built with. */
     const MiniGptConfig &cfg() const { return cfg_; }
 
     /**

@@ -32,6 +32,7 @@ struct Mapping
                         gpuOrder.size()];
     }
 
+    /** @return number of GPUs in the order. */
     int numGpus() const { return static_cast<int>(gpuOrder.size()); }
 };
 
@@ -51,8 +52,8 @@ Mapping sequentialMapping(const Topology &topo, int num_stages);
 /** Search outcome for cross mapping. */
 struct MappingResult
 {
-    Mapping mapping;
-    double searchSeconds = 0.0;
+    Mapping mapping;            //!< the chosen order
+    double searchSeconds = 0.0; //!< wall-clock spent searching
     int evaluated = 0;          //!< permutations scored
 };
 

@@ -21,11 +21,13 @@ namespace mobius
 /** A stage: the layer range [lo, hi). */
 struct StageRange
 {
-    int lo = 0;
-    int hi = 0;
+    int lo = 0; //!< first layer (inclusive)
+    int hi = 0; //!< one past the last layer (exclusive)
 
+    /** @return number of layers in the stage. */
     int size() const { return hi - lo; }
 
+    /** Structural equality. */
     bool
     operator==(const StageRange &o) const
     {

@@ -25,8 +25,8 @@ namespace mobius
 /** A partition plus how it scored and what it cost to find. */
 struct PartitionResult
 {
-    Partition partition;
-    PipelineEstimate estimate;
+    Partition partition;        //!< the chosen stages
+    PipelineEstimate estimate;  //!< its analytic schedule
     double solveSeconds = 0.0;  //!< wall-clock spent searching
     int evaluated = 0;          //!< schedules evaluated
 };

@@ -1,6 +1,7 @@
 #include "plan/partition_mip.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "base/logging.hh"
@@ -265,18 +266,34 @@ buildPartitionMip(const PipelineCostEvaluator &eval, int num_stages,
 
 ExactMipResult
 exactMipPartition(const PipelineCostEvaluator &eval, int max_stages,
-                  const MipOptions &opts)
+                  const MipOptions &opts, MetricsRegistry *metrics)
 {
     const CostModel &cm = eval.cost();
     const int L = cm.numLayers();
     const int N = eval.env().numGpus;
+    if (metrics && !metrics->enabled())
+        metrics = nullptr;
 
     ExactMipResult best;
     for (int s = std::min(N, L); s <= std::min(max_stages, L); ++s) {
         std::vector<std::vector<int>> b;
         MipProblem p = buildPartitionMip(eval, s, &b);
+        auto t0 = std::chrono::steady_clock::now();
         MipSolution sol = solveMip(p, opts);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
         best.nodes += sol.nodesExplored;
+        best.lpPivots += sol.lpPivots;
+        best.wallSeconds += secs;
+        if (metrics) {
+            metrics->counter("plan.mip.solves").add();
+            metrics->counter("plan.mip.nodes")
+                .add(static_cast<double>(sol.nodesExplored));
+            metrics->counter("plan.mip.lp_pivots")
+                .add(static_cast<double>(sol.lpPivots));
+            metrics->histogram("plan.mip.solve_seconds").record(secs);
+        }
         if (!sol.ok())
             continue;
         if (!best.solved || sol.objective < best.objective) {

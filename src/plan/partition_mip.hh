@@ -23,6 +23,7 @@
 #ifndef MOBIUS_PLAN_PARTITION_MIP_HH
 #define MOBIUS_PLAN_PARTITION_MIP_HH
 
+#include "obs/metrics.hh"
 #include "plan/pipeline_cost.hh"
 #include "solver/mip.hh"
 
@@ -32,10 +33,12 @@ namespace mobius
 /** Outcome of the faithful-MIP solve. */
 struct ExactMipResult
 {
-    bool solved = false;
-    Partition partition;
+    bool solved = false;          //!< a feasible partition was found
+    Partition partition;          //!< the best partition
     double objective = 0.0;       //!< MIP makespan (seconds)
     std::uint64_t nodes = 0;      //!< B&B nodes explored
+    std::uint64_t lpPivots = 0;   //!< simplex pivots over all solves
+    double wallSeconds = 0.0;     //!< host wall-clock spent solving
 };
 
 /**
@@ -51,10 +54,15 @@ MipProblem buildPartitionMip(const PipelineCostEvaluator &eval,
 /**
  * Solve Eq. 3-11 for stage counts N..max_stages and return the best.
  * Only valid for small models (layer count <= ~8).
+ *
+ * When @p metrics is an enabled registry, the solve records
+ * plan.mip.solves / plan.mip.nodes / plan.mip.lp_pivots counters and
+ * a plan.mip.solve_seconds histogram (one sample per stage count).
  */
 ExactMipResult exactMipPartition(const PipelineCostEvaluator &eval,
                                  int max_stages,
-                                 const MipOptions &opts = {});
+                                 const MipOptions &opts = {},
+                                 MetricsRegistry *metrics = nullptr);
 
 } // namespace mobius
 

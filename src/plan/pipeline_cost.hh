@@ -46,22 +46,22 @@ struct StageSchedule
 {
     double fwdStart = 0.0;  //!< t^f_{j,1}
     double fwdEnd = 0.0;    //!< t^f_{j,M} + T^f_j
-    double bwdStart = 0.0;
-    double bwdEnd = 0.0;
+    double bwdStart = 0.0;  //!< t^b_{j,1}
+    double bwdEnd = 0.0;    //!< t^b_{j,M} + T^b_j
     double fwdReady = 0.0;  //!< weights fully on GPU (forward)
-    double bwdReady = 0.0;
+    double bwdReady = 0.0;  //!< weights fully on GPU (backward)
     Bytes prefetchedFwd = 0; //!< P^f_j actually prefetched
-    Bytes prefetchedBwd = 0;
-    bool residentForBwd = false;
+    Bytes prefetchedBwd = 0; //!< P^b_j actually prefetched
+    bool residentForBwd = false; //!< stage never left the GPU
 };
 
 /** Result of evaluating one partition. */
 struct PipelineEstimate
 {
-    bool feasible = false;
-    std::string infeasibleReason;
-    double stepTime = 0.0;
-    std::vector<StageSchedule> stages;
+    bool feasible = false;        //!< schedule fits in GPU memory
+    std::string infeasibleReason; //!< human-readable cause if not
+    double stepTime = 0.0;        //!< makespan (seconds)
+    std::vector<StageSchedule> stages; //!< per-stage detail
 
     /** Communication the schedule implies (parameters both ways,
      * activations, gradients) in bytes. */

@@ -31,12 +31,12 @@ namespace mobius
 struct LayerProfile
 {
     double fwdTime = 0.0;    //!< seconds per microbatch
-    double bwdTime = 0.0;
+    double bwdTime = 0.0;    //!< seconds per microbatch (backward)
     Bytes paramBytes = 0;    //!< FP16 weights
-    Bytes gradBytes = 0;
+    Bytes gradBytes = 0;     //!< FP16 gradients
     Bytes actBytes = 0;      //!< boundary activation per microbatch
     Bytes memFwd = 0;        //!< forward footprint (weights + live)
-    Bytes memBwd = 0;
+    Bytes memBwd = 0;        //!< backward footprint
 };
 
 /** Result of a profiling pass. */
@@ -50,11 +50,11 @@ struct ProfileResult
 /** Profiler configuration. */
 struct ProfilerConfig
 {
-    bool useLayerSimilarity = true;
+    bool useLayerSimilarity = true;    //!< measure one per class
     int iterations = 3;                //!< timed runs per layer
     double uploadBandwidth = 13.1e9;   //!< weights upload rate (B/s)
     double measurementNoise = 0.0;     //!< relative sigma, 0 = exact
-    std::uint64_t seed = 1;
+    std::uint64_t seed = 1;            //!< noise generator seed
 };
 
 /**

@@ -50,8 +50,11 @@ class Workload
     Workload(const GptConfig &cfg, const Server &server,
              int microbatch_size = -1, int num_microbatches = -1);
 
+    /** The built model description. */
     const ModelDesc &model() const { return *model_; }
+    /** The per-layer cost model. */
     const CostModel &cost() const { return *cost_; }
+    /** The resolved training configuration. */
     const TrainConfig &train() const { return train_; }
 
   private:

@@ -42,6 +42,7 @@ class CpuOptimizer
         : queue_(queue), throughput_(throughput), trace_(trace)
     {}
 
+    /** @return true when a CPU-update cost model is configured. */
     bool enabled() const { return throughput_ > 0.0; }
 
     /** Queue an update of @p params parameters. */
@@ -57,6 +58,7 @@ class CpuOptimizer
             startNext();
     }
 
+    /** Total seconds the (simulated) CPU spent applying updates. */
     double busyTime() const { return busyTime_; }
     bool idle() const { return !busy_ && tasks_.empty(); }
 

@@ -18,12 +18,13 @@ namespace mobius
 class GpuMemory
 {
   public:
+    /** A pool of @p capacity bytes, all free. */
     explicit GpuMemory(Bytes capacity) : capacity_(capacity) {}
 
-    Bytes capacity() const { return capacity_; }
-    Bytes used() const { return used_; }
-    Bytes available() const { return capacity_ - used_; }
-    Bytes peak() const { return peak_; }
+    Bytes capacity() const { return capacity_; }         //!< total
+    Bytes used() const { return used_; }                 //!< in use
+    Bytes available() const { return capacity_ - used_; } //!< free
+    Bytes peak() const { return peak_; }  //!< high-water mark
 
     /** @return true and allocate when @p bytes fit, false otherwise. */
     bool
@@ -48,6 +49,7 @@ class GpuMemory
         }
     }
 
+    /** Return @p bytes to the pool; panics on over-free. */
     void
     free(Bytes bytes)
     {

@@ -53,6 +53,55 @@ MobiusExecutor::MobiusExecutor(RunContext &ctx, const CostModel &cost,
     }
 
     buildLoadQueues();
+
+    if (MetricsRegistry *m = ctx_.activeMetrics()) {
+        gpuMetrics_.resize(static_cast<std::size_t>(N));
+        for (int g = 0; g < N; ++g) {
+            std::string p = "gpu" + std::to_string(g);
+            GpuMetrics &gm = gpuMetrics_[static_cast<std::size_t>(g)];
+            gm.prefetchHit = &m->counter(p + ".prefetch.hit");
+            gm.prefetchMiss = &m->counter(p + ".prefetch.miss");
+            gm.prefetchWait =
+                &m->counter(p + ".prefetch.wait_seconds");
+            gm.swapLoads = &m->counter(p + ".swap.loads");
+            gm.swapEvictions = &m->counter(p + ".swap.evictions");
+        }
+    }
+}
+
+/**
+ * Compute wants this load but it has not landed: note when the wait
+ * began so the prefetch-miss latency can be attributed.
+ */
+void
+MobiusExecutor::markBlocked(LoadEntry *entry)
+{
+    if (gpuMetrics_.empty() || entry->readyRecorded)
+        return;
+    if (entry->blockedAt < 0)
+        entry->blockedAt = ctx_.queue().now();
+}
+
+/**
+ * A load finished: classify it as a prefetch hit (landed before any
+ * compute waited on it) or miss (compute stalled), once per entry.
+ */
+void
+MobiusExecutor::recordEntryReady(LoadEntry *entry)
+{
+    if (gpuMetrics_.empty() || entry->readyRecorded)
+        return;
+    entry->readyRecorded = true;
+    GpuMetrics &gm = gpuMetrics_[static_cast<std::size_t>(
+        stages_[entry->stage].gpu)];
+    if (entry->blockedAt >= 0) {
+        gm.prefetchMiss->add();
+        gm.prefetchWait->add(ctx_.queue().now() - entry->blockedAt);
+    } else {
+        gm.prefetchHit->add();
+    }
+    if (entry->transferBytes > 0)
+        gm.swapLoads->add();
 }
 
 void
@@ -175,6 +224,7 @@ void
 MobiusExecutor::onEntryReady(LoadEntry *entry)
 {
     StageState &s = stages_[entry->stage];
+    recordEntryReady(entry);
     if (entry->phase == Phase::Fwd) {
         tryScheduleFwd(entry->stage);
     } else {
@@ -192,8 +242,11 @@ MobiusExecutor::tryScheduleFwd(int stage)
     StageState &s = stages_[stage];
     if (s.fwdInFlight || s.nextFwdMb >= M_)
         return;
-    if (!s.fwdEntry->ready())
+    if (!s.fwdEntry->ready()) {
+        if (s.actReady[s.nextFwdMb])
+            markBlocked(s.fwdEntry);
         return;
+    }
     int mb = s.nextFwdMb;
     if (!s.actReady[mb])
         return;
@@ -280,6 +333,9 @@ MobiusExecutor::finishFwdStage(int stage)
         mem.free(s.fwdEntry->allocated);
         s.fwdEntry->allocated = 0;
         s.fwdEntry->done = true;
+        if (!gpuMetrics_.empty())
+            gpuMetrics_[static_cast<std::size_t>(s.gpu)]
+                .swapEvictions->add();
     }
     pump(s.gpu);
 }
@@ -317,8 +373,11 @@ MobiusExecutor::tryScheduleBwd(int stage)
     StageState &s = stages_[stage];
     if (s.bwdInFlight || s.nextBwdMb >= M_)
         return;
-    if (!s.bwdEntry->ready())
+    if (!s.bwdEntry->ready()) {
+        if (s.gradReady[s.nextBwdMb])
+            markBlocked(s.bwdEntry);
         return;
+    }
     if (stage == S_ - 1 && s.fwdDone < M_)
         return;
     int mb = s.nextBwdMb;
@@ -383,6 +442,9 @@ MobiusExecutor::finishBwdStage(int stage)
     mem.free(s.bwdEntry->allocated - keep);
     s.bwdEntry->allocated = keep;
     s.bwdEntry->done = true;
+    if (!gpuMetrics_.empty())
+        gpuMetrics_[static_cast<std::size_t>(s.gpu)]
+            .swapEvictions->add();
 
     int gpu = s.gpu;
     if (keep > 0) {

@@ -31,7 +31,7 @@ namespace mobius
 /** Executor tunables (transfer priorities; smaller = more urgent). */
 struct MobiusExecutorConfig
 {
-    bool keepResidentTail = true;
+    bool keepResidentTail = true; //!< pin the last stages on-GPU
     /**
      * How many stage loads per GPU may be in flight beyond the
      * current one. 1 = the paper's next-stage prefetch (§3.1);
@@ -45,17 +45,18 @@ struct MobiusExecutorConfig
      * bottleneck") — see the ablation bench.
      */
     double weightSourceRateCap = 0.0;
-    int prioActivation = 1;
-    int prioCheckpointUpload = 2;
+    int prioActivation = 1;       //!< inter-stage activations
+    int prioCheckpointUpload = 2; //!< checkpoint reloads
     int prioWeightBase = 10;      //!< + stage execution order
-    int prioGradFlush = 2000;
-    int prioCheckpointOffload = 3000;
+    int prioGradFlush = 2000;     //!< gradient flushes to DRAM
+    int prioCheckpointOffload = 3000; //!< checkpoint offloads
 };
 
 /** Runs one Mobius training step. */
 class MobiusExecutor
 {
   public:
+    /** Bind the executor to a run context, plan, and tunables. */
     MobiusExecutor(RunContext &ctx, const CostModel &cost,
                    Partition partition, Mapping mapping,
                    MobiusExecutorConfig cfg = {});
@@ -78,6 +79,13 @@ class MobiusExecutor
         Bytes landed = 0;          //!< transfer bytes arrived
         bool done = false;         //!< freed / retired
         int order = 0;             //!< global execution order index
+        /**
+         * When compute first found itself waiting on this load
+         * (-1 = never): set by the scheduler when the stage's input
+         * is ready but the load is not — a prefetch miss.
+         */
+        SimTime blockedAt = -1.0;
+        bool readyRecorded = false; //!< hit/miss metric emitted
 
         bool
         ready() const
@@ -136,6 +144,20 @@ class MobiusExecutor
     std::vector<StageState> stages_;
     /** Load queues: loads_[gpu] in execution order. */
     std::vector<std::vector<LoadEntry>> loads_;
+
+    /** Cached per-GPU metric handles (empty when metrics are off). */
+    struct GpuMetrics
+    {
+        Counter *prefetchHit = nullptr;
+        Counter *prefetchMiss = nullptr;
+        Counter *prefetchWait = nullptr; //!< seconds blocked
+        Counter *swapLoads = nullptr;
+        Counter *swapEvictions = nullptr;
+    };
+    std::vector<GpuMetrics> gpuMetrics_;
+
+    void recordEntryReady(LoadEntry *entry);
+    void markBlocked(LoadEntry *entry);
 };
 
 } // namespace mobius

@@ -36,6 +36,11 @@ PipelineExecutor::PipelineExecutor(RunContext &ctx,
     gpuBusy_.assign(static_cast<std::size_t>(N), false);
     stageOfGpu_.assign(static_cast<std::size_t>(N), -1);
 
+    if (MetricsRegistry *m = ctx_.activeMetrics()) {
+        mFwdMicrobatches_ = &m->counter("pipe.fwd.microbatches");
+        mBwdMicrobatches_ = &m->counter("pipe.bwd.microbatches");
+    }
+
     for (int j = 0; j < S_; ++j) {
         const StageRange &r = partition_[j];
         StageState &s = stages_[j];
@@ -129,6 +134,8 @@ PipelineExecutor::onFwdCompute(int stage, int mb)
     StageState &s = stages_[stage];
     gpuBusy_[s.gpu] = false;
     ++s.fwdDone;
+    if (mFwdMicrobatches_)
+        mFwdMicrobatches_->add();
 
     if (stage + 1 < S_) {
         StageState &next = stages_[stage + 1];
@@ -154,6 +161,8 @@ PipelineExecutor::onBwdCompute(int stage, int mb)
     StageState &s = stages_[stage];
     gpuBusy_[s.gpu] = false;
     ++s.bwdDone;
+    if (mBwdMicrobatches_)
+        mBwdMicrobatches_->add();
 
     if (stage > 0) {
         StageState &prev = stages_[stage - 1];

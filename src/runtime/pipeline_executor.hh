@@ -33,10 +33,12 @@ enum class PipelineSchedule
 class PipelineExecutor
 {
   public:
+    /** Bind the executor to a run context, plan, and schedule. */
     PipelineExecutor(RunContext &ctx, const CostModel &cost,
                      Partition partition, Mapping mapping,
                      PipelineSchedule schedule);
 
+    /** Execute one step and return its measurements. */
     StepStats run();
 
   private:
@@ -71,6 +73,9 @@ class PipelineExecutor
     std::vector<bool> gpuBusy_;
     /** stageOfGpu_[g] = stage index resident on GPU g. */
     std::vector<int> stageOfGpu_;
+
+    Counter *mFwdMicrobatches_ = nullptr;
+    Counter *mBwdMicrobatches_ = nullptr;
 };
 
 /** @return printable label ("GPipe" / "DeepSpeed-pipeline"). */

@@ -27,10 +27,11 @@ std::string planToJson(const MobiusPlan &plan);
  */
 struct FineTuneEstimate
 {
-    double hours = 0.0;
-    double dollars = 0.0;
+    double hours = 0.0;   //!< wall-clock hours
+    double dollars = 0.0; //!< rental cost at the server's rate
 };
 
+/** Cost out @p steps training steps on @p server. */
 FineTuneEstimate estimateFineTune(const Server &server,
                                   double step_seconds, int steps);
 

@@ -3,15 +3,22 @@
  * Everything one simulated training step runs on: the event queue,
  * the transfer engine over the server's topology, one compute engine
  * and one memory ledger per GPU, and the usage tracker feeding Fig. 8.
+ *
+ * A RunContext optionally carries a MetricsRegistry; when present,
+ * the engines it constructs instrument themselves and finish()
+ * records the per-GPU phase breakdown (compute / exposed comm /
+ * overlapped comm / idle) plus simulator health metrics.
  */
 
 #ifndef MOBIUS_RUNTIME_RUN_CONTEXT_HH
 #define MOBIUS_RUNTIME_RUN_CONTEXT_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/server.hh"
+#include "obs/metrics.hh"
 #include "runtime/cpu_optimizer.hh"
 #include "runtime/gpu_memory.hh"
 #include "runtime/step_stats.hh"
@@ -25,32 +32,54 @@ namespace mobius
 class RunContext
 {
   public:
+    /**
+     * Wire up queue, engines, memory pools, and telemetry for
+     * @p server. When @p metrics is non-null and enabled, every
+     * engine registers its counters there at construction.
+     */
     explicit RunContext(const Server &server,
                         TransferEngineConfig xfer_cfg = {},
-                        double cpu_adam_throughput = 0.0)
+                        double cpu_adam_throughput = 0.0,
+                        MetricsRegistry *metrics = nullptr)
         : server_(&server),
+          metrics_(metrics),
           usage_(queue_, server.topo.numGpus()),
-          xfer_(queue_, server.topo, &usage_, xfer_cfg, &trace_),
+          xfer_(queue_, server.topo, &usage_, xfer_cfg, &trace_,
+                metrics),
           cpuOptimizer_(queue_, cpu_adam_throughput, &trace_)
     {
         for (int g = 0; g < server.topo.numGpus(); ++g) {
             compute_.push_back(std::make_unique<ComputeEngine>(
-                queue_, &usage_, g, &trace_));
+                queue_, &usage_, g, &trace_, metrics));
             memory_.push_back(std::make_unique<GpuMemory>(
                 server.topo.gpuSpec(g).memBytes));
         }
     }
 
-    const Server &server() const { return *server_; }
+    const Server &server() const { return *server_; } //!< the machine
+    /** @return number of GPUs on the server. */
     int numGpus() const { return server_->topo.numGpus(); }
 
-    EventQueue &queue() { return queue_; }
-    UsageTracker &usage() { return usage_; }
-    TraceRecorder &trace() { return trace_; }
-    TransferEngine &xfer() { return xfer_; }
-    CpuOptimizer &cpuOptimizer() { return cpuOptimizer_; }
-    ComputeEngine &compute(int gpu) { return *compute_[gpu]; }
-    GpuMemory &memory(int gpu) { return *memory_[gpu]; }
+    EventQueue &queue() { return queue_; }   //!< the simulation clock
+    UsageTracker &usage() { return usage_; } //!< per-GPU phase times
+    TraceRecorder &trace() { return trace_; } //!< span/counter sink
+    TransferEngine &xfer() { return xfer_; } //!< the interconnect
+    CpuOptimizer &cpuOptimizer() { return cpuOptimizer_; } //!< CPU Adam
+    ComputeEngine &compute(int gpu) { return *compute_[gpu]; } //!< per-GPU kernels
+    GpuMemory &memory(int gpu) { return *memory_[gpu]; } //!< per-GPU pool
+
+    /** The registry engines report into, or nullptr. */
+    MetricsRegistry *metrics() { return metrics_; }
+
+    /**
+     * @return the enabled registry, or nullptr when metrics are off —
+     *         executors gate their handle creation on this.
+     */
+    MetricsRegistry *
+    activeMetrics()
+    {
+        return metrics_ && metrics_->enabled() ? metrics_ : nullptr;
+    }
 
     /**
      * Drain the event queue and collect the step's statistics.
@@ -70,11 +99,39 @@ class RunContext
             stats.exposedCommTime += usage_.exposedCommTime(g);
             stats.overlappedCommTime += usage_.overlappedCommTime(g);
         }
+        if (MetricsRegistry *m = activeMetrics()) {
+            m->histogram("step.time").record(stats.stepTime);
+            for (int g = 0; g < numGpus(); ++g) {
+                std::string p = "gpu" + std::to_string(g);
+                double compute = usage_.computeTime(g);
+                double exposed = usage_.exposedCommTime(g);
+                m->counter(p + ".compute.seconds").add(compute);
+                m->counter(p + ".exposed_comm.seconds").add(exposed);
+                m->counter(p + ".overlapped_comm.seconds")
+                    .add(usage_.overlappedCommTime(g));
+                // Idle: step wall time not spent computing or
+                // blocked on exposed communication.
+                double idle = stats.stepTime - compute - exposed;
+                m->counter(p + ".idle.seconds")
+                    .add(idle > 0.0 ? idle : 0.0);
+                m->gauge(p + ".mem.peak_bytes")
+                    .set(static_cast<double>(memory_[static_cast<
+                        std::size_t>(g)]->peak()));
+            }
+            m->counter("sim.events.executed")
+                .add(static_cast<double>(queue_.executed()));
+            m->counter("sim.events.clamped")
+                .add(static_cast<double>(queue_.clamped()));
+            m->gauge("sim.drift.max_seconds").set(queue_.maxDrift());
+            m->counter("cpu.optimizer.busy_seconds")
+                .add(cpuOptimizer_.busyTime());
+        }
         return stats;
     }
 
   private:
     const Server *server_;
+    MetricsRegistry *metrics_ = nullptr;
     EventQueue queue_;
     TraceRecorder trace_;
     UsageTracker usage_;

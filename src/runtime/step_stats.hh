@@ -20,13 +20,13 @@ struct StepStats
 {
     std::string system;       //!< "Mobius", "DeepSpeed", "GPipe", ...
     double stepTime = 0.0;    //!< seconds per training step
-    int numGpus = 0;
+    int numGpus = 0;          //!< GPUs that participated
 
     TrafficStats traffic;     //!< volumes + bandwidth samples
 
     double computeTime = 0.0;       //!< sum over GPUs, seconds
     double exposedCommTime = 0.0;   //!< comm not overlapped (Fig. 8)
-    double overlappedCommTime = 0.0;
+    double overlappedCommTime = 0.0; //!< comm hidden under compute
 
     /**
      * Fraction of aggregate GPU time that is communication not

@@ -20,6 +20,11 @@ TensorParallelExecutor::TensorParallelExecutor(RunContext &ctx,
                                        static_cast<std::size_t>(n),
                                    false));
 
+    if (MetricsRegistry *reg = ctx_.activeMetrics()) {
+        mAllReducePieces_ = &reg->counter("tp.allreduce.pieces");
+        mGradFlushes_ = &reg->counter("tp.grad.flushes");
+    }
+
     // Residency check: weight + gradient shards, one microbatch's
     // checkpoints, and the largest live set must fit per GPU.
     Bytes shard = (cost_.model().totalParamBytesFp16() * 2) /
@@ -126,6 +131,8 @@ TensorParallelExecutor::onCompute(int gpu, int slot)
             if (sent_[slot][idx])
                 continue;
             sent_[slot][idx] = true;
+            if (mAllReducePieces_)
+                mAllReducePieces_->add();
             TransferRequest req;
             req.src = Endpoint::gpuAt(src);
             req.dst = Endpoint::gpuAt(dst);
@@ -179,6 +186,8 @@ TensorParallelExecutor::onPiece(int gpu, int slot)
                 }
             };
             ctx_.xfer().submit(flush);
+            if (mGradFlushes_)
+                mGradFlushes_->add();
         }
     }
 

@@ -37,17 +37,19 @@ struct TpExecutorConfig
     double shardEfficiency = 0.8;
     /** All-reduces per transformer block, forward (Megatron: 2). */
     int allReducesPerBlock = 2;
-    int prioCollective = 1;
-    int prioGradient = 20;
+    int prioCollective = 1; //!< all-reduce pieces
+    int prioGradient = 20;  //!< gradient flushes
 };
 
 /** Runs one tensor-parallel training step. */
 class TensorParallelExecutor
 {
   public:
+    /** Bind the executor to a run context and tunables. */
     TensorParallelExecutor(RunContext &ctx, const CostModel &cost,
                            TpExecutorConfig cfg = {});
 
+    /** Execute one step and return its measurements. */
     StepStats run();
 
   private:
@@ -81,6 +83,9 @@ class TensorParallelExecutor
     std::vector<GpuState> gpus_;
     /** sent_[slot][src * N + dst] piece submitted. */
     std::vector<std::vector<bool>> sent_;
+
+    Counter *mAllReducePieces_ = nullptr;
+    Counter *mGradFlushes_ = nullptr;
 };
 
 } // namespace mobius

@@ -27,6 +27,17 @@ ZeroHeteroExecutor::ZeroHeteroExecutor(RunContext &ctx,
                                            static_cast<std::size_t>(n),
                                        false));
 
+    if (MetricsRegistry *m = ctx_.activeMetrics()) {
+        mAllocStalls_.resize(static_cast<std::size_t>(n));
+        for (int g = 0; g < n; ++g) {
+            mAllocStalls_[static_cast<std::size_t>(g)] =
+                &m->counter("gpu" + std::to_string(g) +
+                            ".alloc.stalls");
+        }
+        mShardFetches_ = &m->counter("zero.shard.fetches");
+        mGathersDone_ = &m->counter("zero.gathers.completed");
+    }
+
     // The largest single layer (weights + live set + gradients) must
     // fit; otherwise even ZeRO cannot train the model.
     for (int l = 0; l < numLayers_; ++l) {
@@ -61,11 +72,16 @@ ZeroHeteroExecutor::pump(int gpu)
         Bytes need = slotIsBwd(k)
             ? cost_.stageMemBwd(layer, layer + 1)
             : cost_.stageMemFwd(layer, layer + 1);
-        if (!ctx_.memory(gpu).tryAlloc(need))
+        if (!ctx_.memory(gpu).tryAlloc(need)) {
+            if (!mAllocStalls_.empty())
+                mAllocStalls_[static_cast<std::size_t>(gpu)]->add();
             break;
+        }
         g.held[k] = need;
         ++g.nextFetch;
         g.gatherRemaining[k] = n; // own shard + (n-1) peer pieces
+        if (mShardFetches_)
+            mShardFetches_->add();
 
         // ZeRO-3 + offload all-gather, step 1: fetch this rank's
         // 1/N parameter shard from DRAM.
@@ -146,6 +162,8 @@ ZeroHeteroExecutor::onPiece(int gpu, int k)
         return;
     g.gathered[k] = true;
     ++gatherCount_[k];
+    if (mGathersDone_)
+        mGathersDone_->add();
     if (cfg_.layerSync && gatherCount_[k] == ctx_.numGpus()) {
         // Collective completed everywhere: all ranks may proceed.
         for (int other = 0; other < ctx_.numGpus(); ++other)

@@ -37,18 +37,20 @@ struct ZeroExecutorConfig
      * every GPU finished gathering it (all-gather is a barrier).
      */
     bool layerSync = true;
-    int prioWeights = 10;
-    int prioCheckpoint = 30;
-    int prioGradient = 20;
+    int prioWeights = 10;    //!< weight-shard all-gathers
+    int prioCheckpoint = 30; //!< checkpoint offload/reload
+    int prioGradient = 20;   //!< gradient reduce-scatter
 };
 
 /** Runs one DeepSpeed-style (ZeRO-3 + offload) training step. */
 class ZeroHeteroExecutor
 {
   public:
+    /** Bind the executor to a run context and tunables. */
     ZeroHeteroExecutor(RunContext &ctx, const CostModel &cost,
                        ZeroExecutorConfig cfg = {});
 
+    /** Execute one step and return its measurements. */
     StepStats run();
 
   private:
@@ -87,6 +89,11 @@ class ZeroHeteroExecutor
     std::vector<int> gradLanded_;    //!< per layer: grad shards in
     /** peerSent_[k][src * N + dst]: piece transfer submitted. */
     std::vector<std::vector<bool>> peerSent_;
+
+    /** Per-GPU allocation-stall counters (empty when metrics off). */
+    std::vector<Counter *> mAllocStalls_;
+    Counter *mShardFetches_ = nullptr;
+    Counter *mGathersDone_ = nullptr;
 };
 
 } // namespace mobius

@@ -1,5 +1,7 @@
 #include "simcore/event_queue.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace mobius
@@ -14,6 +16,8 @@ EventQueue::schedule(SimTime when, std::function<void()> fn)
         if (when < now_ - 1e-9)
             panic("scheduling event in the past: %.12f < %.12f",
                   when, now_);
+        ++clamped_;
+        maxDrift_ = std::max(maxDrift_, now_ - when);
         when = now_;
     }
     Key key{when, nextSeq_++};

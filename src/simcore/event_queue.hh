@@ -26,6 +26,7 @@ using SimTime = double;
 /** Handle used to cancel a scheduled event. 0 is "no event". */
 using EventId = std::uint64_t;
 
+/** The null event handle. */
 constexpr EventId kNoEvent = 0;
 
 /**
@@ -36,6 +37,7 @@ constexpr EventId kNoEvent = 0;
 class EventQueue
 {
   public:
+    /** An empty queue at time 0. */
     EventQueue() = default;
 
     /** @return the current simulated time in seconds. */
@@ -78,6 +80,19 @@ class EventQueue
     /** @return total number of events ever executed. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * @return number of schedule() calls whose target time slid
+     *         behind now() (within tolerance) and was clamped.
+     */
+    std::uint64_t clamped() const { return clamped_; }
+
+    /**
+     * @return the largest backslide ever clamped, in seconds —
+     *         a measure of accumulated floating-point drift in the
+     *         fluid-flow solver's completion-time arithmetic.
+     */
+    SimTime maxDrift() const { return maxDrift_; }
+
   private:
     struct Key
     {
@@ -96,6 +111,8 @@ class EventQueue
     SimTime now_ = 0.0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t clamped_ = 0;
+    SimTime maxDrift_ = 0.0;
     std::map<Key, std::function<void()>> events_;
     std::map<EventId, Key> keys_;
 };

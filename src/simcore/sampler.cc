@@ -1,0 +1,59 @@
+#include "simcore/sampler.hh"
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+MetricsSampler::MetricsSampler(EventQueue &queue,
+                               MetricsRegistry &registry,
+                               TraceRecorder *trace,
+                               double interval)
+    : queue_(queue), registry_(registry), trace_(trace),
+      interval_(interval)
+{
+    if (interval_ <= 0.0)
+        panic("metrics sampling interval must be > 0, got %g",
+              interval_);
+}
+
+void
+MetricsSampler::start()
+{
+    sampleNow();
+    // The first tick is armed unconditionally so a sampler started
+    // before the executor seeds the queue still runs during the
+    // simulation.
+    queue_.scheduleAfter(interval_, [this] { tick(); });
+}
+
+void
+MetricsSampler::tick()
+{
+    sampleNow();
+    // Reschedule only while the simulation still has work queued;
+    // a self-perpetuating tick would keep EventQueue::run() alive
+    // forever.
+    if (!queue_.empty())
+        queue_.scheduleAfter(interval_, [this] { tick(); });
+}
+
+void
+MetricsSampler::sampleNow()
+{
+    ++ticks_;
+    SimTime now = queue_.now();
+    auto capture = [&](const std::string &name, double value) {
+        samples_.push_back({now, name, value});
+        if (trace_)
+            trace_->recordCounter({name, now, value});
+    };
+    registry_.visitCounters([&](const Counter &c) {
+        capture(c.name(), c.value());
+    });
+    registry_.visitGauges([&](const Gauge &g) {
+        capture(g.name(), g.value());
+    });
+}
+
+} // namespace mobius

@@ -86,6 +86,17 @@ TraceRecorder::toChromeJson() const
            << tids.at(s.track) << ",\"ts\":" << s.start * 1e6
            << ",\"dur\":" << s.duration() * 1e6 << "}";
     }
+    // Counter samples share pid 1; Perfetto groups them by name into
+    // counter tracks rendered as graphs.
+    for (const auto &c : counters_) {
+        if (first)
+            first = false;
+        else
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(c.name)
+           << "\",\"ph\":\"C\",\"pid\":1,\"ts\":" << c.time * 1e6
+           << ",\"args\":{\"value\":" << c.value << "}}";
+    }
     os << "]}";
     return os.str();
 }

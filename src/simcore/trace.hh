@@ -3,11 +3,13 @@
  * Execution trace recording.
  *
  * Executors and engines emit spans (named intervals on a track, e.g.
- * "gpu0.compute" or "gpu2.h2d"); the recorder can export Chrome
- * tracing JSON (load in chrome://tracing or Perfetto) and render an
- * ASCII Gantt chart. Tests also use traces to assert schedule
- * invariants — e.g. that the executed Mobius pipeline satisfies the
- * paper's pipeline-order constraints (Eq. 8-11).
+ * "gpu0.compute" or "gpu2.h2d"); the metrics sampler additionally
+ * emits counter samples (named time series, e.g. "xfer.queue.depth")
+ * that Perfetto renders as live graphs. The recorder can export
+ * Chrome tracing JSON (load in chrome://tracing or Perfetto) and
+ * render an ASCII Gantt chart. Tests also use traces to assert
+ * schedule invariants — e.g. that the executed Mobius pipeline
+ * satisfies the paper's pipeline-order constraints (Eq. 8-11).
  */
 
 #ifndef MOBIUS_SIMCORE_TRACE_HH
@@ -27,10 +29,22 @@ struct TraceSpan
     std::string track;     //!< e.g. "gpu0.compute"
     std::string name;      //!< e.g. "F3,2" or "load S5"
     std::string category;  //!< "compute" | "transfer" | ...
-    SimTime start = 0.0;
-    SimTime end = 0.0;
+    SimTime start = 0.0;   //!< span begin (simulated seconds)
+    SimTime end = 0.0;     //!< span end (simulated seconds)
 
+    /** @return span length in simulated seconds. */
     double duration() const { return end - start; }
+};
+
+/**
+ * One sample of a named time series ("ph":"C" in Chrome tracing;
+ * Perfetto draws each name as a stacked-area counter track).
+ */
+struct TraceCounter
+{
+    std::string name;    //!< e.g. "xfer.queue.depth"
+    SimTime time = 0.0;  //!< sample time (simulated seconds)
+    double value = 0.0;  //!< sampled value
 };
 
 /** Collects spans during a simulated run. */
@@ -44,9 +58,37 @@ class TraceRecorder
         spans_.push_back(std::move(span));
     }
 
+    /** Record one counter sample. */
+    void
+    recordCounter(TraceCounter counter)
+    {
+        counters_.push_back(std::move(counter));
+    }
+
+    /** All recorded spans, in recording order. */
     const std::vector<TraceSpan> &spans() const { return spans_; }
-    bool empty() const { return spans_.empty(); }
-    void clear() { spans_.clear(); }
+
+    /** All recorded counter samples, in recording order. */
+    const std::vector<TraceCounter> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    /** @return true when nothing has been recorded. */
+    bool
+    empty() const
+    {
+        return spans_.empty() && counters_.empty();
+    }
+
+    /** Forget all recorded spans and counter samples. */
+    void
+    clear()
+    {
+        spans_.clear();
+        counters_.clear();
+    }
 
     /** Spans on one track, in start order. */
     std::vector<TraceSpan> onTrack(const std::string &track) const;
@@ -56,7 +98,8 @@ class TraceRecorder
 
     /**
      * Serialise as Chrome tracing JSON ("traceEvents" array of
-     * complete events; microsecond timestamps).
+     * complete events plus "ph":"C" counter events; microsecond
+     * timestamps).
      */
     std::string toChromeJson() const;
 
@@ -68,6 +111,7 @@ class TraceRecorder
 
   private:
     std::vector<TraceSpan> spans_;
+    std::vector<TraceCounter> counters_;
 };
 
 } // namespace mobius

@@ -108,9 +108,12 @@ class Tableau
         }
     }
 
+    std::uint64_t pivots() const { return pivots_; }
+
     void
     pivot(int r, int c)
     {
+        ++pivots_;
         double p = a_[r][c];
         for (int j = 0; j <= n_; ++j)
             a_[r][j] /= p;
@@ -131,6 +134,7 @@ class Tableau
 
   private:
     int m_, n_;
+    std::uint64_t pivots_ = 0;
     std::vector<std::vector<double>> a_;
     std::vector<int> basis_;
 };
@@ -282,6 +286,7 @@ solveLp(const LpProblem &problem)
         }
         if (infeas > 1e-6) {
             sol.status = LpSolution::Status::Infeasible;
+            sol.pivots = tab.pivots();
             return sol;
         }
         // Pivot remaining (degenerate) artificials out of the basis.
@@ -317,6 +322,7 @@ solveLp(const LpProblem &problem)
 
     if (!tab.optimize(c2)) {
         sol.status = LpSolution::Status::Unbounded;
+        sol.pivots = tab.pivots();
         return sol;
     }
 
@@ -337,6 +343,7 @@ solveLp(const LpProblem &problem)
     for (int j = 0; j < nv; ++j)
         sol.objective += problem.objective[j] *
             (sol.x[j] - vmap[j].shift);
+    sol.pivots = tab.pivots();
     sol.status = LpSolution::Status::Optimal;
     return sol;
 }

@@ -19,6 +19,7 @@
 #ifndef MOBIUS_SOLVER_LP_HH
 #define MOBIUS_SOLVER_LP_HH
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 namespace mobius
 {
 
+/** Unbounded-variable sentinel for LP bounds. */
 constexpr double kLpInf = std::numeric_limits<double>::infinity();
 
 /** Constraint sense. */
@@ -34,17 +36,17 @@ enum class Sense { Le, Ge, Eq };
 /** One linear constraint: sparse coefficients, sense, rhs. */
 struct LpRow
 {
-    std::vector<std::pair<int, double>> coeffs;
-    Sense sense = Sense::Le;
-    double rhs = 0.0;
+    std::vector<std::pair<int, double>> coeffs; //!< (var, coeff) pairs
+    Sense sense = Sense::Le; //!< constraint sense
+    double rhs = 0.0;        //!< right-hand side
 };
 
 /** An LP in general form. */
 struct LpProblem
 {
-    int numVars = 0;
+    int numVars = 0;                //!< number of variables
     std::vector<double> objective;  //!< c, size numVars
-    std::vector<LpRow> rows;
+    std::vector<LpRow> rows;        //!< the constraints
     std::vector<double> lower;      //!< size numVars (default 0)
     std::vector<double> upper;      //!< size numVars (default +inf)
 
@@ -59,12 +61,15 @@ struct LpProblem
 /** Outcome of an LP solve. */
 struct LpSolution
 {
+    /** Solve outcome kinds. */
     enum class Status { Optimal, Infeasible, Unbounded };
 
-    Status status = Status::Infeasible;
-    double objective = 0.0;
-    std::vector<double> x;
+    Status status = Status::Infeasible; //!< solve outcome
+    double objective = 0.0;    //!< optimal objective when ok()
+    std::vector<double> x;     //!< optimal point when ok()
+    std::uint64_t pivots = 0;  //!< simplex pivots performed
 
+    /** @return true when an optimal point was found. */
     bool ok() const { return status == Status::Optimal; }
 };
 

@@ -48,6 +48,7 @@ solveMip(const MipProblem &problem, const MipOptions &options)
         relax.lower = node.lower;
         relax.upper = node.upper;
         LpSolution lp = solveLp(relax);
+        best.lpPivots += lp.pivots;
 
         if (lp.status == LpSolution::Status::Infeasible)
             continue;

@@ -23,7 +23,7 @@ namespace mobius
 /** A MIP: an LP plus integrality marks. */
 struct MipProblem
 {
-    LpProblem lp;
+    LpProblem lp;               //!< the relaxation
     std::vector<bool> integer;  //!< size lp.numVars
 
     /** @return index of a fresh integer variable. */
@@ -53,7 +53,7 @@ struct MipProblem
 struct MipOptions
 {
     std::uint64_t maxNodes = 200000;  //!< search budget
-    double integralityTol = 1e-6;
+    double integralityTol = 1e-6;     //!< "is integer" tolerance
     double gapTol = 1e-9;             //!< absolute pruning slack
 };
 
@@ -64,15 +64,17 @@ struct MipSolution
     {
         Optimal,      //!< proven optimal
         Feasible,     //!< node budget hit; best incumbent returned
-        Infeasible,
-        Unbounded,
+        Infeasible,   //!< no integral point exists
+        Unbounded,    //!< relaxation unbounded at the root
     };
 
-    Status status = Status::Infeasible;
-    double objective = 0.0;
-    std::vector<double> x;
-    std::uint64_t nodesExplored = 0;
+    Status status = Status::Infeasible; //!< solve outcome
+    double objective = 0.0;          //!< incumbent objective
+    std::vector<double> x;           //!< incumbent point
+    std::uint64_t nodesExplored = 0; //!< B&B nodes expanded
+    std::uint64_t lpPivots = 0;  //!< simplex pivots over all nodes
 
+    /** @return true when a feasible integral point was found. */
     bool
     ok() const
     {

@@ -42,13 +42,13 @@ class Tensor;
 /** Shared tensor storage plus autograd bookkeeping. */
 struct TensorImpl
 {
-    Shape shape;
-    std::vector<float> data;
+    Shape shape;                   //!< dimension sizes
+    std::vector<float> data;       //!< row-major values
     std::vector<float> grad;       //!< lazily sized on first use
-    bool requiresGrad = false;
+    bool requiresGrad = false;     //!< participates in autograd
     /** Accumulates parent gradients; set by the producing op. */
     std::function<void(TensorImpl &)> backwardFn;
-    std::vector<std::shared_ptr<TensorImpl>> parents;
+    std::vector<std::shared_ptr<TensorImpl>> parents; //!< graph inputs
 
     /** Ensure grad buffer exists (zero-filled). */
     std::vector<float> &gradRef();
@@ -58,6 +58,7 @@ struct TensorImpl
 class Tensor
 {
   public:
+    /** An undefined handle (defined() == false). */
     Tensor() = default;
 
     /** Fresh zero-filled tensor. */
@@ -67,17 +68,27 @@ class Tensor
     Tensor(Shape shape, std::vector<float> data,
            bool requires_grad = false);
 
+    /** @return true when the handle points at storage. */
     bool defined() const { return impl_ != nullptr; }
+    /** Dimension sizes. */
     const Shape &shape() const { return impl_->shape; }
+    /** Total element count. */
     std::int64_t numel() const { return shapeNumel(impl_->shape); }
+    /** Size of dimension @p i. */
     int dim(int i) const { return impl_->shape[i]; }
+    /** Number of dimensions. */
     int rank() const { return static_cast<int>(impl_->shape.size()); }
 
+    /** Mutable element storage. */
     std::vector<float> &data() { return impl_->data; }
+    /** Read-only element storage. */
     const std::vector<float> &data() const { return impl_->data; }
+    /** Gradient buffer (created zero-filled on first use). */
     std::vector<float> &grad() { return impl_->gradRef(); }
 
+    /** @return true when autograd tracks this tensor. */
     bool requiresGrad() const { return impl_->requiresGrad; }
+    /** Toggle autograd tracking. */
     void setRequiresGrad(bool v) { impl_->requiresGrad = v; }
 
     /** Zero the gradient buffer (if any). */
@@ -97,6 +108,7 @@ class Tensor
      */
     Tensor detachAsLeaf() const;
 
+    /** The shared storage handle. */
     std::shared_ptr<TensorImpl> impl() const { return impl_; }
 
     /** Wrap an existing impl. */

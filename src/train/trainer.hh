@@ -30,6 +30,7 @@ namespace mobius
 class MonolithicTrainer
 {
   public:
+    /** Attach an optimizer to @p model's parameters. */
     MonolithicTrainer(MiniGpt &model, AdamConfig adam = {});
 
     /**

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/trace.hh"
 #include "xfer/stats.hh"
@@ -23,10 +24,19 @@ namespace mobius
 class ComputeEngine
 {
   public:
+    /** An idle engine for GPU @p gpu with optional telemetry sinks. */
     ComputeEngine(EventQueue &queue, UsageTracker *usage, int gpu,
-                  TraceRecorder *trace = nullptr)
+                  TraceRecorder *trace = nullptr,
+                  MetricsRegistry *metrics = nullptr)
         : queue_(queue), usage_(usage), gpu_(gpu), trace_(trace)
-    {}
+    {
+        if (metrics && metrics->enabled()) {
+            mKernels_ = &metrics->counter(
+                "gpu" + std::to_string(gpu) + ".kernels");
+            mKernelSeconds_ = &metrics->histogram(
+                "gpu" + std::to_string(gpu) + ".kernel.seconds");
+        }
+    }
 
     /**
      * Enqueue a kernel of @p duration seconds; @p on_complete fires
@@ -42,8 +52,10 @@ class ComputeEngine
             startNext();
     }
 
+    /** @return true when nothing is running or queued. */
     bool idle() const { return !busy_ && tasks_.empty(); }
 
+    /** The GPU index this engine models. */
     int gpu() const { return gpu_; }
 
     /** Total kernel-seconds retired. */
@@ -70,6 +82,10 @@ class ComputeEngine
         tasks_.pop_front();
         if (usage_)
             usage_->computeBegin(gpu_);
+        if (mKernels_) {
+            mKernels_->add();
+            mKernelSeconds_->record(task.duration);
+        }
         busyTime_ += task.duration;
         double start = queue_.now();
         queue_.scheduleAfter(
@@ -94,6 +110,8 @@ class ComputeEngine
     UsageTracker *usage_;
     int gpu_;
     TraceRecorder *trace_;
+    Counter *mKernels_ = nullptr;
+    Histogram *mKernelSeconds_ = nullptr;
     bool busy_ = false;
     double busyTime_ = 0.0;
     std::deque<Task> tasks_;

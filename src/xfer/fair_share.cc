@@ -11,6 +11,14 @@ std::vector<double>
 maxMinFairRates(const std::vector<FairShareFlow> &flows,
                 const std::vector<double> &pool_capacity)
 {
+    return maxMinFairRates(flows, pool_capacity, nullptr);
+}
+
+std::vector<double>
+maxMinFairRates(const std::vector<FairShareFlow> &flows,
+                const std::vector<double> &pool_capacity,
+                FairShareStats *stats)
+{
     const std::size_t nf = flows.size();
     std::vector<double> rate(nf, 0.0);
     std::vector<bool> frozen(nf, false);
@@ -23,6 +31,8 @@ maxMinFairRates(const std::vector<FairShareFlow> &flows,
     constexpr double kInf = std::numeric_limits<double>::infinity();
 
     while (remaining > 0) {
+        if (stats)
+            ++stats->rounds;
         // Find the bottleneck: the smallest achievable equal increment
         // over all unfrozen flows, considering both pool residuals and
         // per-flow caps.
@@ -71,9 +81,11 @@ maxMinFairRates(const std::vector<FairShareFlow> &flows,
             if (frozen[f])
                 continue;
             bool hit = false;
+            bool byCap = false;
             if (flows[f].rateCap > 0.0 &&
                 rate[f] >= flows[f].rateCap - kEps) {
                 hit = true;
+                byCap = true;
             }
             for (int pool : flows[f].pools) {
                 if (residual[pool] <= kEps * pool_capacity[pool]) {
@@ -84,7 +96,17 @@ maxMinFairRates(const std::vector<FairShareFlow> &flows,
             if (hit) {
                 frozen[f] = true;
                 --remaining;
+                if (stats && byCap)
+                    ++stats->cappedFlows;
             }
+        }
+    }
+    if (stats) {
+        constexpr double kEps = 1e-6;
+        for (std::size_t p = 0; p < residual.size(); ++p) {
+            if (pool_capacity[p] > 0.0 &&
+                residual[p] <= kEps * pool_capacity[p])
+                ++stats->saturatedPools;
         }
     }
     return rate;

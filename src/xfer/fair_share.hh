@@ -26,14 +26,29 @@ struct FairShareFlow
     double rateCap = 0.0;    //!< optional per-flow cap (0 = none)
 };
 
+/** Telemetry from one max-min fair allocation. */
+struct FairShareStats
+{
+    int rounds = 0;          //!< freeze iterations executed
+    int cappedFlows = 0;     //!< flows frozen by their own rate cap
+    int saturatedPools = 0;  //!< pools driven to saturation
+};
+
 /**
  * Compute max-min fair rates.
  *
  * @param flows          the active flows
  * @param pool_capacity  capacity of each pool id referenced by flows;
  *                       indexed by pool id (bytes/second)
+ * @param stats          optional telemetry out-param
  * @return per-flow rate in bytes/second, same order as @p flows
  */
+std::vector<double>
+maxMinFairRates(const std::vector<FairShareFlow> &flows,
+                const std::vector<double> &pool_capacity,
+                FairShareStats *stats);
+
+/** Overload without telemetry. */
 std::vector<double>
 maxMinFairRates(const std::vector<FairShareFlow> &flows,
                 const std::vector<double> &pool_capacity);

@@ -37,12 +37,12 @@ const char *trafficKindName(TrafficKind kind);
 /** One completed transfer, as observed by the stats collector. */
 struct BandwidthSample
 {
-    Bytes bytes = 0;
+    Bytes bytes = 0;         //!< payload size
     double bandwidth = 0.0;  //!< achieved bytes/second (excl. setup)
-    SimTime start = 0.0;
-    SimTime finish = 0.0;
+    SimTime start = 0.0;     //!< submit time
+    SimTime finish = 0.0;    //!< completion time
     int gpu = -1;            //!< GPU the transfer is attributed to
-    TrafficKind kind = TrafficKind::Other;
+    TrafficKind kind = TrafficKind::Other; //!< traffic accounting
     /** True when the route used only GPU-GPU peer (NVLink) links. */
     bool peerOnly = false;
 };
@@ -63,6 +63,7 @@ class BandwidthCdf
     /** @return the maximum observed bandwidth. */
     double maxBandwidth() const;
 
+    /** @return true when built from zero samples. */
     bool empty() const { return points_.empty(); }
 
     /** Sorted (bandwidth, cumulative fraction) points. */
@@ -80,6 +81,7 @@ class BandwidthCdf
 class TrafficStats
 {
   public:
+    /** Account one completed transfer. */
     void record(const BandwidthSample &sample);
 
     /** Logical bytes moved, all kinds. */
@@ -88,12 +90,14 @@ class TrafficStats
     /** Logical bytes moved for one kind. */
     Bytes bytesOf(TrafficKind kind) const;
 
+    /** All recorded samples, in completion order. */
     const std::vector<BandwidthSample> &
     samples() const
     {
         return samples_;
     }
 
+    /** Reset all accumulated traffic. */
     void clear();
 
   private:
@@ -114,12 +118,13 @@ class TrafficStats
 class UsageTracker
 {
   public:
+    /** Track @p num_gpus GPUs on @p queue's clock. */
     UsageTracker(EventQueue &queue, int num_gpus);
 
-    void computeBegin(int gpu);
-    void computeEnd(int gpu);
-    void commBegin(int gpu);
-    void commEnd(int gpu);
+    void computeBegin(int gpu); //!< a kernel started on @p gpu
+    void computeEnd(int gpu);   //!< a kernel finished on @p gpu
+    void commBegin(int gpu);    //!< a transfer started on @p gpu
+    void commEnd(int gpu);      //!< a transfer finished on @p gpu
 
     /** Seconds GPU @p gpu spent computing. */
     double computeTime(int gpu) const;
@@ -136,8 +141,10 @@ class UsageTracker
     /** Sum of computeTime over all GPUs. */
     double totalComputeTime() const;
 
+    /** @return number of tracked GPUs. */
     int numGpus() const { return static_cast<int>(state_.size()); }
 
+    /** Reset all accumulated times. */
     void clear();
 
   private:

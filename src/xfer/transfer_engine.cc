@@ -1,6 +1,8 @@
 #include "xfer/transfer_engine.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "base/logging.hh"
 #include "xfer/fair_share.hh"
@@ -11,7 +13,8 @@ namespace mobius
 TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
                                UsageTracker *usage,
                                TransferEngineConfig cfg,
-                               TraceRecorder *trace)
+                               TraceRecorder *trace,
+                               MetricsRegistry *metrics)
     : queue_(queue), topo_(topo), usage_(usage), cfg_(cfg),
       trace_(trace)
 {
@@ -24,6 +27,24 @@ TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
             topo.link(l).capacity;
         poolCapacity_[static_cast<std::size_t>(l) * 2 + 1] =
             topo.link(l).capacity;
+    }
+
+    if (metrics && metrics->enabled()) {
+        mLinkBytes_.resize(static_cast<std::size_t>(topo.numLinks()));
+        for (int l = 0; l < topo.numLinks(); ++l) {
+            mLinkBytes_[static_cast<std::size_t>(l)] =
+                &metrics->counter("link." + topo.link(l).name +
+                                  ".bytes");
+        }
+        mQueueDepth_ = &metrics->gauge("xfer.queue.depth");
+        mActiveFlows_ = &metrics->gauge("xfer.flows.active");
+        mSubmitted_ = &metrics->counter("xfer.flows.submitted");
+        mCompleted_ = &metrics->counter("xfer.flows.completed");
+        mStalled_ = &metrics->counter("xfer.flows.stalled");
+        mRecomputes_ = &metrics->counter("xfer.rate.recomputes");
+        mBandwidth_ = &metrics->histogram("xfer.bandwidth");
+        mFairShareRounds_ =
+            &metrics->histogram("xfer.fair_share.rounds");
     }
 }
 
@@ -94,6 +115,11 @@ TransferEngine::submit(TransferRequest req)
 
     FlowId id = flow.id;
     flows_.emplace(id, std::move(flow));
+    if (mSubmitted_) {
+        mSubmitted_->add();
+        ++waitingCount_;
+        mQueueDepth_->set(waitingCount_);
+    }
     enqueueOnEngines(flows_.at(id));
     tryStartFlows();
     return id;
@@ -157,6 +183,12 @@ void
 TransferEngine::beginSetup(Flow &flow)
 {
     flow.state = FlowState::Setup;
+    if (mQueueDepth_) {
+        --waitingCount_;
+        mQueueDepth_->set(waitingCount_);
+        ++activeCount_;
+        mActiveFlows_->set(activeCount_);
+    }
     for (int e : flow.engines) {
         auto &eng = engines_[e];
         eng.waiting.pop_front();
@@ -213,7 +245,13 @@ TransferEngine::recomputeRates()
         fs[i].pools = flows_.at(moving[i]).pools;
         fs[i].rateCap = flows_.at(moving[i]).req.rateCap;
     }
-    auto rates = maxMinFairRates(fs, poolCapacity_);
+    FairShareStats fsStats;
+    auto rates = maxMinFairRates(fs, poolCapacity_,
+                                 mRecomputes_ ? &fsStats : nullptr);
+    if (mRecomputes_) {
+        mRecomputes_->add();
+        mFairShareRounds_->record(fsStats.rounds);
+    }
 
     for (std::size_t i = 0; i < moving.size(); ++i) {
         Flow &f = flows_.at(moving[i]);
@@ -253,6 +291,32 @@ TransferEngine::finish(FlowId id)
     sample.kind = flow.req.kind;
     sample.peerOnly = flow.peerOnly;
     stats_.record(sample);
+
+    if (mCompleted_) {
+        mCompleted_->add();
+        --activeCount_;
+        mActiveFlows_->set(activeCount_);
+        for (int pool : flow.pools) {
+            mLinkBytes_[static_cast<std::size_t>(pool / 2)]->add(
+                static_cast<double>(flow.req.bytes));
+        }
+        if (duration > 0 && flow.req.bytes > 0) {
+            mBandwidth_->record(sample.bandwidth);
+            // Uncontended bottleneck: the slowest link-direction on
+            // the route (and the flow's own cap, if any). Finishing
+            // well below it means fair sharing stalled this flow.
+            double bottleneck = flow.req.rateCap > 0.0
+                ? flow.req.rateCap
+                : std::numeric_limits<double>::infinity();
+            for (int pool : flow.pools)
+                bottleneck = std::min(
+                    bottleneck,
+                    poolCapacity_[static_cast<std::size_t>(pool)]);
+            if (std::isfinite(bottleneck) &&
+                sample.bandwidth < 0.98 * bottleneck)
+                mStalled_->add();
+        }
+    }
 
     if (trace_) {
         // Attribute the span to the GPU-side engine track.

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "hw/topology.hh"
+#include "obs/metrics.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/trace.hh"
 #include "xfer/stats.hh"
@@ -36,15 +37,16 @@
 namespace mobius
 {
 
+/** Identifies one submitted transfer. */
 using FlowId = std::uint64_t;
 
 /** A transfer submitted to the engine. */
 struct TransferRequest
 {
-    Endpoint src;
-    Endpoint dst;
-    Bytes bytes = 0;
-    TrafficKind kind = TrafficKind::Other;
+    Endpoint src;                 //!< source endpoint
+    Endpoint dst;                 //!< destination endpoint
+    Bytes bytes = 0;              //!< payload size
+    TrafficKind kind = TrafficKind::Other; //!< traffic accounting
     int priority = 10;            //!< lower value = more urgent
     int statsGpu = -1;            //!< stats attribution; -1 = auto
     /**
@@ -53,7 +55,7 @@ struct TransferRequest
      */
     double rateCap = 0.0;
     std::string label;            //!< trace span name
-    std::function<void()> onComplete;
+    std::function<void()> onComplete; //!< fires when the flow lands
 };
 
 /** Per-transfer engine configuration. */
@@ -69,7 +71,8 @@ class TransferEngine
     TransferEngine(EventQueue &queue, const Topology &topo,
                    UsageTracker *usage = nullptr,
                    TransferEngineConfig cfg = {},
-                   TraceRecorder *trace = nullptr);
+                   TraceRecorder *trace = nullptr,
+                   MetricsRegistry *metrics = nullptr);
 
     /** Submit a transfer; completes asynchronously. */
     FlowId submit(TransferRequest req);
@@ -150,6 +153,24 @@ class TransferEngine
     std::vector<double> poolCapacity_;
     FlowId nextId_ = 1;
     std::uint64_t nextSeq_ = 1;
+
+    /**
+     * Metric handles, cached at construction (all null when metrics
+     * are off so the hot paths pay one pointer test). "Stalled"
+     * means a flow finished below ~98% of its uncontended bottleneck
+     * bandwidth, i.e. fair sharing throttled it.
+     */
+    std::vector<Counter *> mLinkBytes_;  //!< per link id
+    Gauge *mQueueDepth_ = nullptr;
+    Gauge *mActiveFlows_ = nullptr;
+    Counter *mSubmitted_ = nullptr;
+    Counter *mCompleted_ = nullptr;
+    Counter *mStalled_ = nullptr;
+    Counter *mRecomputes_ = nullptr;
+    Histogram *mBandwidth_ = nullptr;
+    Histogram *mFairShareRounds_ = nullptr;
+    int waitingCount_ = 0;  //!< flows submitted but not yet started
+    int activeCount_ = 0;   //!< flows in setup or moving
 };
 
 } // namespace mobius

@@ -23,14 +23,23 @@
  *   --steps N                      fine-tuning length estimate
  *   --json                         machine-readable output
  *   --trace FILE                   write Chrome tracing JSON
+ *                                  (spans + live counter tracks)
+ *   --metrics FILE                 write the metrics registry as
+ *                                  JSON; a sibling .csv is written
+ *                                  next to it
+ *   --metrics-interval SEC         counter sampling period in
+ *                                  simulated seconds (default 0.01)
  *   --gantt                        print the ASCII schedule
  */
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "base/args.hh"
+#include "obs/metrics.hh"
 #include "runtime/report.hh"
+#include "simcore/sampler.hh"
 
 using namespace mobius;
 
@@ -61,6 +70,53 @@ pickModel(const Args &args)
     fatal("unknown --model '%s'", name.c_str());
 }
 
+/** @return @p path with its extension replaced by ".csv". */
+std::string
+csvSibling(const std::string &path)
+{
+    std::size_t dot = path.find_last_of('.');
+    std::size_t slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + ".csv";
+    }
+    return path.substr(0, dot) + ".csv";
+}
+
+/** Sum of a counter's value, or 0 when it was never created. */
+double
+counterOr0(const MetricsRegistry &reg, const std::string &name)
+{
+    const Counter *c = reg.findCounter(name);
+    return c ? c->value() : 0.0;
+}
+
+/**
+ * Print the per-GPU phase breakdown (compute / exposed comm /
+ * overlapped comm / idle / prefetch wait), the simulated analogue of
+ * the paper's Fig. 8 utilisation split.
+ */
+void
+printPhaseTable(RunContext &ctx, const MetricsRegistry &reg,
+                double step_time)
+{
+    std::printf("\nper-GPU phase breakdown (seconds):\n");
+    std::printf("  %-6s %9s %9s %9s %9s %9s\n", "gpu", "compute",
+                "exposed", "overlap", "idle", "pf-wait");
+    for (int g = 0; g < ctx.numGpus(); ++g) {
+        double compute = ctx.usage().computeTime(g);
+        double exposed = ctx.usage().exposedCommTime(g);
+        double overlap = ctx.usage().overlappedCommTime(g);
+        double idle = step_time - compute - exposed;
+        if (idle < 0.0)
+            idle = 0.0;
+        double wait = counterOr0(
+            reg, "gpu" + std::to_string(g) + ".prefetch.wait_seconds");
+        std::printf("  gpu%-3d %9.4f %9.4f %9.4f %9.4f %9.4f\n", g,
+                    compute, exposed, overlap, idle, wait);
+    }
+}
+
 } // namespace
 
 int
@@ -81,6 +137,9 @@ main(int argc, char **argv)
         double cpu_adam = args.getDouble("cpu-adam", 0.0);
         bool json = args.has("json");
         std::string trace_file = args.get("trace", "");
+        std::string metrics_file = args.get("metrics", "");
+        double metrics_interval =
+            args.getDouble("metrics-interval", 0.01);
         bool gantt = args.has("gantt");
         int steps = args.getInt("steps", 0);
 
@@ -100,10 +159,30 @@ main(int argc, char **argv)
 
         StepStats stats;
         std::string plan_json;
-        RunContext ctx(server, {}, cpu_adam);
+        MetricsRegistry registry;
+        RunContext ctx(server, {}, cpu_adam, &registry);
+        // Sample counters onto the trace/CSV timeline while the
+        // simulation runs. Started before the executor, so the first
+        // tick is already queued when events begin.
+        std::unique_ptr<MetricsSampler> sampler;
+        if ((!trace_file.empty() || !metrics_file.empty()) &&
+            metrics_interval > 0) {
+            sampler = std::make_unique<MetricsSampler>(
+                ctx.queue(), registry,
+                trace_file.empty() ? nullptr : &ctx.trace(),
+                metrics_interval);
+            sampler->start();
+        }
         if (system == "mobius") {
             MobiusPlan plan = planMobius(server, work.cost(), popts);
             plan_json = planToJson(plan);
+            registry.gauge("plan.profiling_seconds")
+                .set(plan.profilingSeconds);
+            registry.gauge("plan.solve_seconds")
+                .set(plan.solveSeconds);
+            registry.gauge("plan.mapping_seconds")
+                .set(plan.mappingSeconds);
+            registry.gauge("plan.stages").set(plan.stageCount());
             MobiusExecutor exec(ctx, work.cost(), plan.partition,
                                 plan.mapping);
             stats = exec.run();
@@ -163,14 +242,31 @@ main(int argc, char **argv)
                 std::printf("%d steps        : %.1f h, $%.2f\n",
                             steps, est.hours, est.dollars);
             }
+            printPhaseTable(ctx, registry, stats.stepTime);
         }
 
         if (!trace_file.empty()) {
             std::ofstream os(trace_file);
             os << ctx.trace().toChromeJson();
+            if (!os)
+                fatal("cannot write trace file '%s'",
+                      trace_file.c_str());
             if (!json)
                 std::printf("trace           : %s\n",
                             trace_file.c_str());
+        }
+        if (!metrics_file.empty()) {
+            std::ofstream os(metrics_file);
+            os << registry.toJson() << "\n";
+            std::string csv_file = csvSibling(metrics_file);
+            std::ofstream cs(csv_file);
+            cs << registry.toCsv();
+            if (!os || !cs)
+                fatal("cannot write metrics file '%s' / '%s'",
+                      metrics_file.c_str(), csv_file.c_str());
+            if (!json)
+                std::printf("metrics         : %s (+ %s)\n",
+                            metrics_file.c_str(), csv_file.c_str());
         }
         if (gantt)
             std::printf("\n%s\n",
