@@ -71,6 +71,22 @@ hillClimb(const PipelineCostEvaluator &eval, Partition &best,
 
 } // namespace
 
+Partition
+heuristicPartitionForStages(const PipelineCostEvaluator &eval,
+                            int num_stages, int *evaluated)
+{
+    int scratch = 0;
+    if (!evaluated)
+        evaluated = &scratch;
+    const int L = eval.cost().numLayers();
+    Partition p = uniformPartition(L, num_stages);
+    PipelineEstimate est;
+    double t = score(eval, p, &est, evaluated);
+    if (!std::isinf(t))
+        hillClimb(eval, p, t, evaluated);
+    return p;
+}
+
 PartitionResult
 mipPartition(const PipelineCostEvaluator &eval)
 {
@@ -86,18 +102,14 @@ mipPartition(const PipelineCostEvaluator &eval)
     // stage count (the balanced shapes the MIP gravitates to thanks
     // to layer similarity), hill-climbed to repair edge effects from
     // the embedding / head layers.
-    std::vector<Partition> seeds;
-    for (int s = std::min(N, L); s <= L; ++s)
-        seeds.push_back(uniformPartition(L, s));
-
-    for (auto &seed : seeds) {
+    for (int s = std::min(N, L); s <= L; ++s) {
+        Partition cand =
+            heuristicPartitionForStages(eval, s, &result.evaluated);
         PipelineEstimate est;
-        double t = score(eval, seed, &est, &result.evaluated);
-        if (!std::isinf(t))
-            hillClimb(eval, seed, t, &result.evaluated);
+        double t = score(eval, cand, &est, &result.evaluated);
         if (t < best_time) {
             best_time = t;
-            result.partition = seed;
+            result.partition = std::move(cand);
         }
     }
 

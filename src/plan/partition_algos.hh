@@ -34,6 +34,21 @@ struct PartitionResult
 /** §3.2 MIP partition algorithm (search over contiguous partitions). */
 PartitionResult mipPartition(const PipelineCostEvaluator &eval);
 
+/**
+ * Best heuristic partition with exactly @p num_stages stages: a
+ * near-uniform split hill-climbed on stage boundaries. This is the
+ * per-stage-count building block of mipPartition(), exposed so the
+ * exact MIP (plan/partition_mip.hh) can seed its branch-and-bound
+ * incumbent from it. The result may be memory-infeasible (the caller
+ * is expected to check); it always has exactly @p num_stages stages.
+ *
+ * @param[in,out] evaluated incremented per schedule evaluation
+ *                          (may be null).
+ */
+Partition heuristicPartitionForStages(const PipelineCostEvaluator &eval,
+                                      int num_stages,
+                                      int *evaluated = nullptr);
+
 /** §4.3 baseline: as many layers per stage as memory allows. */
 PartitionResult maxStagePartition(const PipelineCostEvaluator &eval);
 

@@ -1,10 +1,14 @@
 #include "plan/partition_mip.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <exception>
+#include <thread>
 
 #include "base/logging.hh"
+#include "plan/partition_algos.hh"
 
 namespace mobius
 {
@@ -264,6 +268,66 @@ buildPartitionMip(const PipelineCostEvaluator &eval, int num_stages,
     return p;
 }
 
+namespace
+{
+
+/** What one stage count's solve produced. */
+struct StageSolve
+{
+    bool solved = false;
+    double objective = 0.0;
+    Partition partition;
+    std::uint64_t nodes = 0, pivots = 0, warm = 0, cold = 0;
+    double seconds = 0.0;
+};
+
+/** Build, seed, and solve the faithful MIP for one stage count. */
+void
+solveOneStageCount(const PipelineCostEvaluator &eval, int s,
+                   const MipOptions &opts, StageSolve &out)
+{
+    const int L = eval.cost().numLayers();
+    std::vector<std::vector<int>> b;
+    MipProblem p = buildPartitionMip(eval, s, &b);
+
+    // Incumbent seed: the heuristic partitioner's pick for this
+    // stage count, encoded into the B_{i,j} booleans. If it is
+    // memory-infeasible the seed LP simply fails and
+    // branch-and-bound starts without an incumbent.
+    MipOptions mo = opts;
+    Partition seed = heuristicPartitionForStages(eval, s);
+    mo.start.assign(static_cast<std::size_t>(p.lp.numVars), 0.0);
+    for (int j = 0; j < s; ++j) {
+        for (int i = seed[j].lo; i < seed[j].hi; ++i)
+            mo.start[b[i][j]] = 1.0;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    MipSolution sol = solveMip(p, mo);
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    out.nodes = sol.nodesExplored;
+    out.pivots = sol.lpPivots;
+    out.warm = sol.lpWarmSolves;
+    out.cold = sol.lpColdSolves;
+    if (!sol.ok())
+        return;
+    out.solved = true;
+    out.objective = sol.objective;
+    // Decode B_{i,j} into stage sizes.
+    std::vector<int> sizes(static_cast<std::size_t>(s), 0);
+    for (int i = 0; i < L; ++i) {
+        for (int j = 0; j < s; ++j) {
+            if (sol.x[b[i][j]] > 0.5)
+                ++sizes[j];
+        }
+    }
+    out.partition = partitionFromSizes(sizes);
+}
+
+} // namespace
+
 ExactMipResult
 exactMipPartition(const PipelineCostEvaluator &eval, int max_stages,
                   const MipOptions &opts, MetricsRegistry *metrics)
@@ -275,40 +339,95 @@ exactMipPartition(const PipelineCostEvaluator &eval, int max_stages,
         metrics = nullptr;
 
     ExactMipResult best;
-    for (int s = std::min(N, L); s <= std::min(max_stages, L); ++s) {
-        std::vector<std::vector<int>> b;
-        MipProblem p = buildPartitionMip(eval, s, &b);
-        auto t0 = std::chrono::steady_clock::now();
-        MipSolution sol = solveMip(p, opts);
-        double secs = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-        best.nodes += sol.nodesExplored;
-        best.lpPivots += sol.lpPivots;
-        best.wallSeconds += secs;
+    const int s_lo = std::min(N, L);
+    const int s_hi = std::min(max_stages, L);
+    if (s_hi < s_lo)
+        return best;
+    const int count = s_hi - s_lo + 1;
+
+    std::vector<StageSolve> solves(static_cast<std::size_t>(count));
+
+    int threads = opts.threads;
+    if (threads <= 0) {
+        threads =
+            static_cast<int>(std::thread::hardware_concurrency());
+        if (threads <= 0)
+            threads = 1;
+    }
+    threads = std::min(threads, count);
+
+    // Each stage count is an independent MIP, so workers just pull
+    // the next s off a shared ticket. All output is per-slot and the
+    // reduction below scans slots in stage-count order, which keeps
+    // the chosen partition bit-identical for any thread count.
+    // fatal() (e.g. a non-uniform layer stack) must reach the caller
+    // as a FatalError, not std::terminate a worker thread, so each
+    // slot captures its exception for a post-join rethrow.
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(count));
+    std::atomic<int> next{0};
+    auto run = [&] {
+        while (true) {
+            const int k = next.fetch_add(1);
+            if (k >= count)
+                break;
+            const int s = s_lo + k;
+            StageSolve &out = solves[static_cast<std::size_t>(k)];
+            try {
+                solveOneStageCount(eval, s, opts, out);
+            } catch (...) {
+                errors[static_cast<std::size_t>(k)] =
+                    std::current_exception();
+            }
+        }
+    };
+    if (threads <= 1) {
+        run();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int i = 0; i < threads; ++i)
+            pool.emplace_back(run);
+        for (auto &th : pool)
+            th.join();
+    }
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+
+    // MetricsRegistry is not thread-safe: record everything here,
+    // after the join, in stage-count order.
+    best.threadsUsed = threads;
+    for (const StageSolve &out : solves) {
+        best.nodes += out.nodes;
+        best.lpPivots += out.pivots;
+        best.lpWarmSolves += out.warm;
+        best.lpColdSolves += out.cold;
+        best.wallSeconds += out.seconds;
         if (metrics) {
             metrics->counter("plan.mip.solves").add();
             metrics->counter("plan.mip.nodes")
-                .add(static_cast<double>(sol.nodesExplored));
+                .add(static_cast<double>(out.nodes));
             metrics->counter("plan.mip.lp_pivots")
-                .add(static_cast<double>(sol.lpPivots));
-            metrics->histogram("plan.mip.solve_seconds").record(secs);
+                .add(static_cast<double>(out.pivots));
+            metrics->counter("solver.lp.warm_solves")
+                .add(static_cast<double>(out.warm));
+            metrics->counter("solver.lp.cold_solves")
+                .add(static_cast<double>(out.cold));
+            metrics->histogram("plan.mip.solve_seconds")
+                .record(out.seconds);
         }
-        if (!sol.ok())
-            continue;
-        if (!best.solved || sol.objective < best.objective) {
+        if (out.solved &&
+            (!best.solved || out.objective < best.objective)) {
             best.solved = true;
-            best.objective = sol.objective;
-            // Decode B_{i,j} into stage sizes.
-            std::vector<int> sizes(static_cast<std::size_t>(s), 0);
-            for (int i = 0; i < L; ++i) {
-                for (int j = 0; j < s; ++j) {
-                    if (sol.x[b[i][j]] > 0.5)
-                        ++sizes[j];
-                }
-            }
-            best.partition = partitionFromSizes(sizes);
+            best.objective = out.objective;
+            best.partition = out.partition;
         }
+    }
+    if (metrics) {
+        metrics->gauge("plan.mip.threads")
+            .set(static_cast<double>(threads));
     }
     return best;
 }

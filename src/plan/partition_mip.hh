@@ -38,7 +38,10 @@ struct ExactMipResult
     double objective = 0.0;       //!< MIP makespan (seconds)
     std::uint64_t nodes = 0;      //!< B&B nodes explored
     std::uint64_t lpPivots = 0;   //!< simplex pivots over all solves
+    std::uint64_t lpWarmSolves = 0; //!< node LPs solved warm
+    std::uint64_t lpColdSolves = 0; //!< cold solves incl. fallbacks
     double wallSeconds = 0.0;     //!< host wall-clock spent solving
+    int threadsUsed = 1;          //!< stage-sweep worker threads
 };
 
 /**
@@ -53,11 +56,22 @@ MipProblem buildPartitionMip(const PipelineCostEvaluator &eval,
 
 /**
  * Solve Eq. 3-11 for stage counts N..max_stages and return the best.
- * Only valid for small models (layer count <= ~8).
+ *
+ * Each stage count is an independent MIP, so the sweep fans out
+ * across opts.threads workers (0 = one per hardware core). Every
+ * solve seeds its incumbent from heuristicPartitionForStages() and
+ * runs warm-started branch-and-bound; results are reduced
+ * deterministically (lowest objective, ties to the smaller stage
+ * count), so the chosen partition is bit-identical for any thread
+ * count. Tractable up to medium instances (tens of layers); beyond
+ * that use the scalable search in partition_algos.cc.
  *
  * When @p metrics is an enabled registry, the solve records
- * plan.mip.solves / plan.mip.nodes / plan.mip.lp_pivots counters and
- * a plan.mip.solve_seconds histogram (one sample per stage count).
+ * plan.mip.solves / plan.mip.nodes / plan.mip.lp_pivots /
+ * solver.lp.warm_solves / solver.lp.cold_solves counters, a
+ * plan.mip.solve_seconds histogram (one sample per stage count) and
+ * a plan.mip.threads gauge — always from the calling thread, after
+ * the workers have joined (MetricsRegistry is not thread-safe).
  */
 ExactMipResult exactMipPartition(const PipelineCostEvaluator &eval,
                                  int max_stages,

@@ -1,5 +1,6 @@
 #include "runtime/api.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/logging.hh"
@@ -49,6 +50,22 @@ planMobius(const Server &server, const CostModel &cost,
       case PartitionAlgo::Mip:
         part = mipPartition(eval);
         break;
+      case PartitionAlgo::ExactMip: {
+        const int max_stages =
+            opts.maxStages > 0 ? opts.maxStages : cost.numLayers();
+        ExactMipResult exact = exactMipPartition(
+            eval, max_stages, opts.mip, opts.metrics);
+        if (!exact.solved) {
+            fatal("exact MIP partition found no feasible partition "
+                  "within its node/time budget");
+        }
+        part.partition = std::move(exact.partition);
+        part.estimate = eval.evaluate(part.partition);
+        part.solveSeconds = exact.wallSeconds;
+        part.evaluated = static_cast<int>(
+            std::min<std::uint64_t>(exact.nodes, 1000000000ULL));
+        break;
+      }
       case PartitionAlgo::MinStage:
         part = minStagePartition(eval);
         break;
@@ -57,11 +74,14 @@ planMobius(const Server &server, const CostModel &cost,
         break;
     }
     if (!part.estimate.feasible) {
-        fatal("%s partition infeasible: %s",
-              opts.partition == PartitionAlgo::Mip ? "MIP"
-              : opts.partition == PartitionAlgo::MinStage
-                  ? "minimum-stage"
-                  : "maximum-stage",
+        const char *name = "MIP";
+        switch (opts.partition) {
+          case PartitionAlgo::Mip:      name = "MIP"; break;
+          case PartitionAlgo::ExactMip: name = "exact-MIP"; break;
+          case PartitionAlgo::MinStage: name = "minimum-stage"; break;
+          case PartitionAlgo::MaxStage: name = "maximum-stage"; break;
+        }
+        fatal("%s partition infeasible: %s", name,
               part.estimate.infeasibleReason.c_str());
     }
     plan.partition = std::move(part.partition);

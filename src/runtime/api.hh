@@ -25,6 +25,7 @@
 #include "hw/server.hh"
 #include "plan/mapping.hh"
 #include "plan/partition_algos.hh"
+#include "plan/partition_mip.hh"
 #include "profile/profiler.hh"
 #include "runtime/mobius_executor.hh"
 #include "runtime/pipeline_executor.hh"
@@ -64,7 +65,13 @@ class Workload
 };
 
 /** Partition algorithm selector (§4.3 ablation). */
-enum class PartitionAlgo { Mip, MinStage, MaxStage };
+enum class PartitionAlgo
+{
+    Mip,       //!< scalable heuristic search (default)
+    ExactMip,  //!< faithful Eq. 3-11 branch-and-bound
+    MinStage,  //!< one transformer block per stage
+    MaxStage,  //!< as many layers per stage as memory allows
+};
 
 /** Stage mapping selector (§4.4 ablation). */
 enum class MappingAlgo { Cross, Sequential };
@@ -77,6 +84,15 @@ struct PlanOptions
     ProfilerConfig profiler;
     /** Average bandwidth for the MIP's B constant; 0 = PCIe x16. */
     double avgBandwidth = 0.0;
+    /** Branch-and-bound budget and stage-sweep thread count, used
+     * when partition == PartitionAlgo::ExactMip. */
+    MipOptions mip;
+    /** Largest stage count the exact MIP sweeps; 0 = layer count.
+     * Ignored by the other partition algorithms. */
+    int maxStages = 0;
+    /** Optional registry for plan.mip.* / solver.lp.* metrics from
+     * the exact MIP solve; null or disabled = no recording. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Output of the planning phase (§3.2/§3.3 + Fig. 12 overheads). */

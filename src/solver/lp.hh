@@ -1,10 +1,10 @@
 /**
  * @file
- * A small dense linear-programming solver (two-phase simplex).
+ * A dense bounded-variable simplex LP solver.
  *
  * The paper solves its partition MIP with Gurobi (§3.2). This module
- * is the from-scratch replacement: an LP solver used as the relaxation
- * engine of the branch-and-bound MIP in solver/mip.hh.
+ * is the from-scratch replacement: an LP solver used as the
+ * relaxation engine of the branch-and-bound MIP in solver/mip.hh.
  *
  * Problems are given in the general form
  *     minimize    c^T x
@@ -12,8 +12,20 @@
  *                 lb_j <= x_j <= ub_j            for each variable j
  * with lb defaulting to 0 and ub to +infinity.
  *
- * The implementation favours robustness over speed (Bland's rule to
- * prevent cycling); the MIPs solved here are small.
+ * Unlike the original two-phase implementation (kept as the oracle in
+ * lp_reference.hh), variable bounds are handled natively: a nonbasic
+ * variable rests at its lower or upper bound and may "flip" across
+ * its box without a basis change, so finite upper bounds cost zero
+ * extra rows. Pricing is Dantzig (most negative reduced cost) with an
+ * automatic switch to Bland's rule after a degeneracy stall, which
+ * keeps the common case fast and termination guaranteed. Artificial
+ * columns are excluded from pricing after phase 1 (no big-M penalty).
+ *
+ * BoundedSimplex additionally supports warm re-solves after bound
+ * changes — the branch-and-bound workhorse: the previous optimal
+ * basis stays dual feasible when only bounds move, so a short dual
+ * simplex repair reaches the new optimum in a handful of pivots
+ * instead of a full phase-1/phase-2 solve.
  */
 
 #ifndef MOBIUS_SOLVER_LP_HH
@@ -58,6 +70,17 @@ struct LpProblem
                 Sense sense, double rhs);
 };
 
+/** Solver knobs (safe defaults; only the MIP tunes these). */
+struct LpOptions
+{
+    /** Pivot budget for one solve; 0 = unlimited. A warm solve that
+     * exhausts it falls back to a cold solve automatically. */
+    std::uint64_t maxPivots = 0;
+    /** Consecutive degenerate pivots before Dantzig pricing yields
+     * to Bland's rule (reset on any strict improvement). */
+    int stallThreshold = 64;
+};
+
 /** Outcome of an LP solve. */
 struct LpSolution
 {
@@ -73,8 +96,58 @@ struct LpSolution
     bool ok() const { return status == Status::Optimal; }
 };
 
-/** Solve @p problem with two-phase simplex. */
-LpSolution solveLp(const LpProblem &problem);
+/**
+ * A reusable bounded-variable simplex over one constraint matrix.
+ *
+ * The matrix (rows + slack columns + artificial slots) is
+ * standardised once at construction; variable bounds may then be
+ * changed between solves. solveCold() runs phase 1 (artificials) +
+ * phase 2 from scratch; solveWarm() re-enters from the previous
+ * final basis with a dual-simplex repair, falling back to a cold
+ * solve when the repair stalls. This is what makes branch-and-bound
+ * cheap: a child node differs from its parent by one bound.
+ */
+class BoundedSimplex
+{
+  public:
+    /** Standardise @p problem (coefficients and rhs are copied). */
+    explicit BoundedSimplex(const LpProblem &problem);
+    ~BoundedSimplex();
+
+    BoundedSimplex(const BoundedSimplex &) = delete;
+    BoundedSimplex &operator=(const BoundedSimplex &) = delete;
+
+    /** Replace the structural variable bounds (size numVars). */
+    void setBounds(const std::vector<double> &lower,
+                   const std::vector<double> &upper);
+
+    /** Solve from scratch (phase 1 + phase 2). */
+    LpSolution solveCold(const LpOptions &opts = {});
+
+    /**
+     * Re-solve after a bounds change, starting from the last basis.
+     * Falls back to solveCold() when no basis exists yet or the
+     * dual repair exceeds its pivot budget.
+     */
+    LpSolution solveWarm(const LpOptions &opts = {});
+
+    /** @return true once any solve has established a basis. */
+    bool hasBasis() const;
+
+    /** @return pivots performed across all solves so far. */
+    std::uint64_t totalPivots() const;
+
+    /** @return warm solves that had to restart cold. */
+    std::uint64_t coldFallbacks() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/** Solve @p problem with the bounded-variable simplex. */
+LpSolution solveLp(const LpProblem &problem,
+                   const LpOptions &opts = {});
 
 /** @return printable name of a solution status. */
 std::string lpStatusName(LpSolution::Status status);

@@ -1,5 +1,6 @@
 #include "solver/mip.hh"
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -20,23 +21,92 @@ struct Node
 
 } // namespace
 
+std::string
+mipStatusName(MipSolution::Status status)
+{
+    switch (status) {
+      case MipSolution::Status::Optimal:    return "optimal";
+      case MipSolution::Status::Feasible:   return "feasible";
+      case MipSolution::Status::Infeasible: return "infeasible";
+      case MipSolution::Status::Unbounded:  return "unbounded";
+      case MipSolution::Status::NodeLimit:  return "node_limit";
+    }
+    return "?";
+}
+
 MipSolution
 solveMip(const MipProblem &problem, const MipOptions &options)
 {
     MipSolution best;
-    if (static_cast<int>(problem.integer.size()) !=
-        problem.lp.numVars) {
+    const int nv = problem.lp.numVars;
+    if (static_cast<int>(problem.integer.size()) != nv)
         panic("MIP integrality marks inconsistent with numVars");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out_of_time = [&] {
+        if (options.timeLimitSeconds <= 0.0)
+            return false;
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        return dt.count() >= options.timeLimitSeconds;
+    };
+
+    BoundedSimplex simplex(problem.lp);
+    bool have_incumbent = false;
+    bool exhausted = true;
+
+    auto accept = [&](const LpSolution &lp) {
+        if (have_incumbent &&
+            lp.objective >= best.objective - options.gapTol) {
+            return;
+        }
+        have_incumbent = true;
+        best.objective = lp.objective;
+        best.x = lp.x;
+        for (int j = 0; j < nv; ++j) {
+            if (problem.integer[j])
+                best.x[j] = std::round(best.x[j]);
+        }
+    };
+
+    // Incumbent seeding: fix the integer variables to the caller's
+    // start point and let an LP fill in the continuous ones. If that
+    // LP is feasible we have an incumbent before the first node, so
+    // the bound test prunes from the start. The solve also leaves an
+    // optimal basis behind for the root node to warm-start from.
+    if (!options.start.empty()) {
+        if (static_cast<int>(options.start.size()) != nv)
+            panic("MIP start point inconsistent with numVars");
+        std::vector<double> lo = problem.lp.lower;
+        std::vector<double> up = problem.lp.upper;
+        bool in_box = true;
+        for (int j = 0; j < nv; ++j) {
+            if (!problem.integer[j])
+                continue;
+            const double v = std::round(options.start[j]);
+            if (v < lo[j] - options.integralityTol ||
+                v > up[j] + options.integralityTol) {
+                in_box = false;
+                break;
+            }
+            lo[j] = v;
+            up[j] = v;
+        }
+        if (in_box) {
+            simplex.setBounds(lo, up);
+            LpSolution seed = simplex.solveCold();
+            best.lpPivots += seed.pivots;
+            ++best.lpColdSolves;
+            if (seed.ok())
+                accept(seed);
+        }
     }
 
     std::vector<Node> stack;
     stack.push_back(Node{problem.lp.lower, problem.lp.upper});
 
-    bool have_incumbent = false;
-    bool exhausted = true;
-
     while (!stack.empty()) {
-        if (best.nodesExplored >= options.maxNodes) {
+        if (best.nodesExplored >= options.maxNodes || out_of_time()) {
             exhausted = false;
             break;
         }
@@ -44,10 +114,19 @@ solveMip(const MipProblem &problem, const MipOptions &options)
         stack.pop_back();
         ++best.nodesExplored;
 
-        LpProblem relax = problem.lp;
-        relax.lower = node.lower;
-        relax.upper = node.upper;
-        LpSolution lp = solveLp(relax);
+        simplex.setBounds(node.lower, node.upper);
+        LpSolution lp;
+        if (options.warmStart && simplex.hasBasis()) {
+            const std::uint64_t before = simplex.coldFallbacks();
+            lp = simplex.solveWarm();
+            if (simplex.coldFallbacks() > before)
+                ++best.lpColdSolves;
+            else
+                ++best.lpWarmSolves;
+        } else {
+            lp = simplex.solveCold();
+            ++best.lpColdSolves;
+        }
         best.lpPivots += lp.pivots;
 
         if (lp.status == LpSolution::Status::Infeasible)
@@ -66,7 +145,7 @@ solveMip(const MipProblem &problem, const MipOptions &options)
         // Find the most fractional integer variable.
         int branch_var = -1;
         double branch_frac = 0.0;
-        for (int j = 0; j < problem.lp.numVars; ++j) {
+        for (int j = 0; j < nv; ++j) {
             if (!problem.integer[j])
                 continue;
             double v = lp.x[j];
@@ -80,17 +159,7 @@ solveMip(const MipProblem &problem, const MipOptions &options)
 
         if (branch_var < 0) {
             // Integral: candidate incumbent.
-            if (!have_incumbent ||
-                lp.objective < best.objective - options.gapTol) {
-                have_incumbent = true;
-                best.objective = lp.objective;
-                best.x = lp.x;
-                // Snap integer variables exactly.
-                for (int j = 0; j < problem.lp.numVars; ++j) {
-                    if (problem.integer[j])
-                        best.x[j] = std::round(best.x[j]);
-                }
-            }
+            accept(lp);
             continue;
         }
 
@@ -112,7 +181,7 @@ solveMip(const MipProblem &problem, const MipOptions &options)
 
     if (!have_incumbent) {
         best.status = exhausted ? MipSolution::Status::Infeasible
-                                : MipSolution::Status::Infeasible;
+                                : MipSolution::Status::NodeLimit;
         return best;
     }
     best.status = exhausted ? MipSolution::Status::Optimal
