@@ -1,4 +1,4 @@
-#include "simcore/sampler.hh"
+#include "obs/sampler.hh"
 
 #include "base/logging.hh"
 

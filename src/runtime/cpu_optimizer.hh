@@ -45,15 +45,21 @@ class CpuOptimizer
     /** @return true when a CPU-update cost model is configured. */
     bool enabled() const { return throughput_ > 0.0; }
 
-    /** Queue an update of @p params parameters. */
+    /**
+     * Queue an update of @p params parameters. @p deps names the
+     * spans (typically the gradient flushes) that made this update
+     * runnable; @p stage is the pipeline stage being updated.
+     */
     void
-    apply(std::uint64_t params, std::string label = "adam")
+    apply(std::uint64_t params, std::string label = "adam",
+          std::vector<SpanId> deps = {}, int stage = -1)
     {
         if (!enabled())
             return;
         tasks_.push_back(
             Task{static_cast<double>(params) / throughput_,
-                 std::move(label)});
+                 std::move(label), std::move(deps), stage,
+                 queue_.now()});
         if (!busy_)
             startNext();
     }
@@ -67,6 +73,9 @@ class CpuOptimizer
     {
         double duration;
         std::string label;
+        std::vector<SpanId> deps;
+        int stage = -1;
+        SimTime queuedAt = -1.0;
     };
 
     void
@@ -81,11 +90,20 @@ class CpuOptimizer
         double start = queue_.now();
         queue_.scheduleAfter(
             task.duration,
-            [this, start, label = std::move(task.label)] {
+            [this, start, label = std::move(task.label),
+             deps = std::move(task.deps), stage = task.stage,
+             queuedAt = task.queuedAt] {
                 if (trace_) {
-                    trace_->record(TraceSpan{"cpu.optim", label,
-                                             "optimizer", start,
-                                             queue_.now()});
+                    TraceSpan s;
+                    s.track = "cpu.optim";
+                    s.name = label;
+                    s.category = "optimizer";
+                    s.start = start;
+                    s.end = queue_.now();
+                    s.deps = deps;
+                    s.queuedAt = queuedAt;
+                    s.stage = stage;
+                    trace_->record(std::move(s));
                 }
                 busy_ = false;
                 startNext();

@@ -40,6 +40,10 @@ MobiusExecutor::MobiusExecutor(RunContext &ctx, const CostModel &cost,
         s.gradReady.assign(static_cast<std::size_t>(M_), false);
         s.checkpointReady.assign(static_cast<std::size_t>(M_), false);
         s.checkpointAsked.assign(static_cast<std::size_t>(M_), false);
+        s.actReadySpan.assign(static_cast<std::size_t>(M_), kNoSpan);
+        s.gradReadySpan.assign(static_cast<std::size_t>(M_), kNoSpan);
+        s.checkpointReadySpan.assign(static_cast<std::size_t>(M_),
+                                     kNoSpan);
 
         Bytes cap = ctx_.memory(s.gpu).capacity();
         if (s.memFwd > cap || s.memBwd > cap) {
@@ -53,6 +57,7 @@ MobiusExecutor::MobiusExecutor(RunContext &ctx, const CostModel &cost,
     }
 
     buildLoadQueues();
+    memFreedBy_.assign(static_cast<std::size_t>(N), kNoSpan);
 
     if (MetricsRegistry *m = ctx_.activeMetrics()) {
         gpuMetrics_.resize(static_cast<std::size_t>(N));
@@ -179,6 +184,14 @@ MobiusExecutor::pump(int gpu)
             if (chunk > 0) {
                 mem.alloc(chunk);
                 e.allocated += chunk;
+                // This allocation was enabled by whatever eviction
+                // last freed memory here: the load was blocked on it.
+                SpanId freed = memFreedBy_[gpu];
+                if (freed != kNoSpan &&
+                    (e.depSpans.empty() ||
+                     e.depSpans.back() != freed)) {
+                    e.depSpans.push_back(freed);
+                }
             }
         }
         // Issue the transfer for the weight portion now reserved.
@@ -196,6 +209,8 @@ MobiusExecutor::pump(int gpu)
             req.label = strfmt("S%d.%s", e.stage,
                                e.phase == Phase::Fwd ? "fwd"
                                                      : "bwd");
+            req.deps = e.depSpans;
+            req.stage = e.stage;
             LoadEntry *ep = &e;
             req.onComplete = [this, gpu, ep, bytes] {
                 onWeightChunk(gpu, ep, bytes);
@@ -215,6 +230,9 @@ void
 MobiusExecutor::onWeightChunk(int gpu, LoadEntry *entry, Bytes bytes)
 {
     entry->landed += bytes;
+    SpanId chunk = ctx_.xfer().lastSpanId();
+    if (chunk != kNoSpan)
+        entry->depSpans.push_back(chunk);
     if (entry->ready())
         onEntryReady(entry);
     pump(gpu);
@@ -230,7 +248,9 @@ MobiusExecutor::onEntryReady(LoadEntry *entry)
     } else {
         // Start uploading the first checkpoint as soon as the stage's
         // weights are back (overlapped with the predecessor).
-        askCheckpoint(entry->stage, 0);
+        askCheckpoint(entry->stage, 0,
+                      entry->depSpans.empty() ? kNoSpan
+                                              : entry->depSpans.back());
         tryScheduleBwd(entry->stage);
     }
     (void)s;
@@ -252,9 +272,15 @@ MobiusExecutor::tryScheduleFwd(int stage)
         return;
 
     s.fwdInFlight = true;
+    // Why this compute starts now: the stage's weight load (chunk
+    // transfers + any eviction that made room), the input activation
+    // (Eq. 8), and the previous microbatch on this stage (Eq. 9).
+    std::vector<SpanId> deps = s.fwdEntry->depSpans;
+    deps.push_back(s.actReadySpan[static_cast<std::size_t>(mb)]);
+    deps.push_back(s.lastFwdSpan);
     ctx_.compute(s.gpu).submit(
         s.tFwd, [this, stage, mb] { onFwdCompute(stage, mb); },
-        strfmt("F%d,%d", stage, mb));
+        strfmt("F%d,%d", stage, mb), std::move(deps), stage);
 }
 
 void
@@ -264,6 +290,7 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
     s.fwdInFlight = false;
     ++s.fwdDone;
     ++s.nextFwdMb;
+    s.lastFwdSpan = ctx_.compute(s.gpu).lastSpanId();
 
     // Offload the input checkpoint for the backward pass (§3.1's
     // A_Mobius; fire-and-forget, low priority).
@@ -274,6 +301,9 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
         off.bytes = s.aInBytes;
         off.kind = TrafficKind::Activation;
         off.priority = cfg_.prioCheckpointOffload;
+        off.label = strfmt("ckpt%d,%d", stage, mb);
+        off.deps = {s.lastFwdSpan};
+        off.stage = stage;
         ctx_.xfer().submit(off);
     }
 
@@ -282,6 +312,8 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
         StageState &next = stages_[stage + 1];
         if (next.gpu == s.gpu) {
             next.actReady[mb] = true;
+            next.actReadySpan[static_cast<std::size_t>(mb)] =
+                s.lastFwdSpan;
             tryScheduleFwd(stage + 1);
         } else {
             TransferRequest act;
@@ -291,18 +323,26 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
             act.kind = TrafficKind::Activation;
             act.priority = cfg_.prioActivation;
             act.label = strfmt("a%d,%d", stage, mb);
+            act.deps = {s.lastFwdSpan};
+            act.stage = stage + 1;
             int nstage = stage + 1;
             act.onComplete = [this, nstage, mb] {
                 stages_[nstage].actReady[mb] = true;
+                stages_[nstage]
+                    .actReadySpan[static_cast<std::size_t>(mb)] =
+                    ctx_.xfer().lastSpanId();
                 tryScheduleFwd(nstage);
             };
             ctx_.xfer().submit(act);
         }
     } else if (s.fwdDone == M_) {
         // Loss computed; the last stage's backward may begin on all
-        // microbatches (Eq. 11).
-        for (int m = 0; m < M_; ++m)
+        // microbatches (Eq. 11) — each gated by the final forward.
+        for (int m = 0; m < M_; ++m) {
             s.gradReady[m] = true;
+            s.gradReadySpan[static_cast<std::size_t>(m)] =
+                s.lastFwdSpan;
+        }
     }
 
     if (s.fwdDone == M_)
@@ -319,8 +359,10 @@ MobiusExecutor::finishFwdStage(int stage)
     StageState &s = stages_[stage];
     GpuMemory &mem = ctx_.memory(s.gpu);
     if (s.resident) {
-        // Hand the forward footprint over to the backward entry.
+        // Hand the forward footprint over to the backward entry;
+        // causally, the final forward compute enables it.
         s.fwdEntry->done = true;
+        s.bwdEntry->depSpans.push_back(s.lastFwdSpan);
         s.bwdEntry->allocated += s.fwdEntry->allocated;
         if (s.bwdEntry->allocated > s.memBwd) {
             mem.free(s.bwdEntry->allocated - s.memBwd);
@@ -333,6 +375,8 @@ MobiusExecutor::finishFwdStage(int stage)
         mem.free(s.fwdEntry->allocated);
         s.fwdEntry->allocated = 0;
         s.fwdEntry->done = true;
+        // The next load on this GPU was blocked on this eviction.
+        memFreedBy_[static_cast<std::size_t>(s.gpu)] = s.lastFwdSpan;
         if (!gpuMetrics_.empty())
             gpuMetrics_[static_cast<std::size_t>(s.gpu)]
                 .swapEvictions->add();
@@ -341,7 +385,7 @@ MobiusExecutor::finishFwdStage(int stage)
 }
 
 void
-MobiusExecutor::askCheckpoint(int stage, int mb)
+MobiusExecutor::askCheckpoint(int stage, int mb, SpanId trigger)
 {
     if (mb >= M_)
         return;
@@ -351,6 +395,8 @@ MobiusExecutor::askCheckpoint(int stage, int mb)
     s.checkpointAsked[mb] = true;
     if (s.aInBytes == 0) {
         s.checkpointReady[mb] = true;
+        s.checkpointReadySpan[static_cast<std::size_t>(mb)] =
+            trigger;
         tryScheduleBwd(stage);
         return;
     }
@@ -360,8 +406,14 @@ MobiusExecutor::askCheckpoint(int stage, int mb)
     up.bytes = s.aInBytes;
     up.kind = TrafficKind::Activation;
     up.priority = cfg_.prioCheckpointUpload;
+    up.label = strfmt("c%d,%d", stage, mb);
+    up.deps = {trigger};
+    up.stage = stage;
     up.onComplete = [this, stage, mb] {
         stages_[stage].checkpointReady[mb] = true;
+        stages_[stage]
+            .checkpointReadySpan[static_cast<std::size_t>(mb)] =
+            ctx_.xfer().lastSpanId();
         tryScheduleBwd(stage);
     };
     ctx_.xfer().submit(up);
@@ -381,16 +433,25 @@ MobiusExecutor::tryScheduleBwd(int stage)
     if (stage == S_ - 1 && s.fwdDone < M_)
         return;
     int mb = s.nextBwdMb;
-    askCheckpoint(stage, mb);
+    askCheckpoint(stage, mb,
+                  s.gradReadySpan[static_cast<std::size_t>(mb)]);
     if (!s.gradReady[mb] || !s.checkpointReady[mb])
         return;
 
     s.bwdInFlight = true;
     // Overlap the next checkpoint upload with this compute.
-    askCheckpoint(stage, mb + 1);
+    askCheckpoint(stage, mb + 1, s.lastBwdSpan);
+    // Why this compute starts now: the weight reload, the output
+    // gradient from the next stage (Eq. 10 via the loss at Eq. 11),
+    // the reloaded input checkpoint, and the previous microbatch.
+    std::vector<SpanId> deps = s.bwdEntry->depSpans;
+    deps.push_back(s.gradReadySpan[static_cast<std::size_t>(mb)]);
+    deps.push_back(
+        s.checkpointReadySpan[static_cast<std::size_t>(mb)]);
+    deps.push_back(s.lastBwdSpan);
     ctx_.compute(s.gpu).submit(
         s.tBwd, [this, stage, mb] { onBwdCompute(stage, mb); },
-        strfmt("B%d,%d", stage, mb));
+        strfmt("B%d,%d", stage, mb), std::move(deps), stage);
 }
 
 void
@@ -400,12 +461,15 @@ MobiusExecutor::onBwdCompute(int stage, int mb)
     s.bwdInFlight = false;
     ++s.bwdDone;
     ++s.nextBwdMb;
+    s.lastBwdSpan = ctx_.compute(s.gpu).lastSpanId();
 
     // Send the activation gradient to the previous stage.
     if (stage > 0) {
         StageState &prev = stages_[stage - 1];
         if (prev.gpu == s.gpu) {
             prev.gradReady[mb] = true;
+            prev.gradReadySpan[static_cast<std::size_t>(mb)] =
+                s.lastBwdSpan;
             tryScheduleBwd(stage - 1);
         } else {
             TransferRequest g;
@@ -415,9 +479,14 @@ MobiusExecutor::onBwdCompute(int stage, int mb)
             g.kind = TrafficKind::ActivationGrad;
             g.priority = cfg_.prioActivation;
             g.label = strfmt("g%d,%d", stage, mb);
+            g.deps = {s.lastBwdSpan};
+            g.stage = stage - 1;
             int pstage = stage - 1;
             g.onComplete = [this, pstage, mb] {
                 stages_[pstage].gradReady[mb] = true;
+                stages_[pstage]
+                    .gradReadySpan[static_cast<std::size_t>(mb)] =
+                    ctx_.xfer().lastSpanId();
                 tryScheduleBwd(pstage);
             };
             ctx_.xfer().submit(g);
@@ -442,6 +511,7 @@ MobiusExecutor::finishBwdStage(int stage)
     mem.free(s.bwdEntry->allocated - keep);
     s.bwdEntry->allocated = keep;
     s.bwdEntry->done = true;
+    memFreedBy_[static_cast<std::size_t>(s.gpu)] = s.lastBwdSpan;
     if (!gpuMetrics_.empty())
         gpuMetrics_[static_cast<std::size_t>(s.gpu)]
             .swapEvictions->add();
@@ -454,6 +524,9 @@ MobiusExecutor::finishBwdStage(int stage)
         flush.bytes = s.gradBytes;
         flush.kind = TrafficKind::Gradient;
         flush.priority = cfg_.prioGradFlush;
+        flush.label = strfmt("flush S%d", stage);
+        flush.deps = {s.lastBwdSpan};
+        flush.stage = stage;
         int stage_idx = stage;
         flush.onComplete = [this, gpu, keep, stage_idx] {
             ctx_.memory(gpu).free(keep);
@@ -462,7 +535,8 @@ MobiusExecutor::finishBwdStage(int stage)
             for (int i = r.lo; i < r.hi; ++i)
                 params += cost_.model().layers[i].paramCount;
             ctx_.cpuOptimizer().apply(
-                params, strfmt("adam S%d", stage_idx));
+                params, strfmt("adam S%d", stage_idx),
+                {ctx_.xfer().lastSpanId()}, stage_idx);
             pump(gpu);
         };
         ctx_.xfer().submit(flush);

@@ -86,6 +86,13 @@ class MobiusExecutor
          */
         SimTime blockedAt = -1.0;
         bool readyRecorded = false; //!< hit/miss metric emitted
+        /**
+         * Spans that made this load possible: the eviction (final
+         * compute) that freed GPU memory for it, plus each landed
+         * weight-chunk transfer. Computes gated by the load inherit
+         * these as causal deps.
+         */
+        std::vector<SpanId> depSpans;
 
         bool
         ready() const
@@ -116,6 +123,15 @@ class MobiusExecutor
         std::vector<bool> checkpointAsked;
         LoadEntry *fwdEntry = nullptr;
         LoadEntry *bwdEntry = nullptr;
+
+        /** Producing span per ready flag (kNoSpan = free input). */
+        std::vector<SpanId> actReadySpan;
+        std::vector<SpanId> gradReadySpan;
+        std::vector<SpanId> checkpointReadySpan;
+        /** Last fwd/bwd compute span: the Eq. 9 microbatch-order
+         *  edge on the same stage. */
+        SpanId lastFwdSpan = kNoSpan;
+        SpanId lastBwdSpan = kNoSpan;
     };
 
     void buildLoadQueues();
@@ -130,7 +146,8 @@ class MobiusExecutor
     void tryScheduleBwd(int stage);
     void onBwdCompute(int stage, int mb);
     void finishBwdStage(int stage);
-    void askCheckpoint(int stage, int mb);
+    void askCheckpoint(int stage, int mb,
+                       SpanId trigger = kNoSpan);
 
     RunContext &ctx_;
     const CostModel &cost_;
@@ -144,6 +161,9 @@ class MobiusExecutor
     std::vector<StageState> stages_;
     /** Load queues: loads_[gpu] in execution order. */
     std::vector<std::vector<LoadEntry>> loads_;
+    /** Per GPU: span of the compute whose completion last freed
+     *  memory — the "stage evict blocked load" causal edge. */
+    std::vector<SpanId> memFreedBy_;
 
     /** Cached per-GPU metric handles (empty when metrics are off). */
     struct GpuMetrics

@@ -53,6 +53,10 @@ PipelineExecutor::PipelineExecutor(RunContext &ctx,
         stageOfGpu_[s.gpu] = j;
         s.actReady.assign(static_cast<std::size_t>(M_), j == 0);
         s.gradReady.assign(static_cast<std::size_t>(M_), false);
+        s.actReadySpan.assign(static_cast<std::size_t>(M_), kNoSpan);
+        s.gradReadySpan.assign(static_cast<std::size_t>(M_),
+                               kNoSpan);
+        s.fwdSpan.assign(static_cast<std::size_t>(M_), kNoSpan);
 
         // Memory check: everything resident (OOM rows of Fig. 5).
         // 1F1B caps in-flight microbatches at pipeline-depth-minus-
@@ -117,14 +121,23 @@ PipelineExecutor::schedule(int gpu)
     gpuBusy_[gpu] = true;
     if (do_bwd) {
         int mb = s.nextBwdMb++;
+        // Gated by the gradient from downstream (or, on the last
+        // stage, its own forward — Eq. 11) and the previous compute
+        // on this GPU (Eq. 9).
+        SpanId gate = stage == S_ - 1
+            ? s.fwdSpan[static_cast<std::size_t>(mb)]
+            : s.gradReadySpan[static_cast<std::size_t>(mb)];
         ctx_.compute(gpu).submit(
             s.tBwd, [this, stage, mb] { onBwdCompute(stage, mb); },
-            strfmt("B%d,%d", stage, mb));
+            strfmt("B%d,%d", stage, mb), {gate, s.lastSpan}, stage);
     } else {
         int mb = s.nextFwdMb++;
         ctx_.compute(gpu).submit(
             s.tFwd, [this, stage, mb] { onFwdCompute(stage, mb); },
-            strfmt("F%d,%d", stage, mb));
+            strfmt("F%d,%d", stage, mb),
+            {s.actReadySpan[static_cast<std::size_t>(mb)],
+             s.lastSpan},
+            stage);
     }
 }
 
@@ -134,6 +147,8 @@ PipelineExecutor::onFwdCompute(int stage, int mb)
     StageState &s = stages_[stage];
     gpuBusy_[s.gpu] = false;
     ++s.fwdDone;
+    s.lastSpan = ctx_.compute(s.gpu).lastSpanId();
+    s.fwdSpan[static_cast<std::size_t>(mb)] = s.lastSpan;
     if (mFwdMicrobatches_)
         mFwdMicrobatches_->add();
 
@@ -145,9 +160,15 @@ PipelineExecutor::onFwdCompute(int stage, int mb)
         act.bytes = s.aOutBytes;
         act.kind = TrafficKind::Activation;
         act.priority = 1;
+        act.label = strfmt("a%d,%d", stage, mb);
+        act.deps = {s.lastSpan};
+        act.stage = stage + 1;
         int nstage = stage + 1;
         act.onComplete = [this, nstage, mb] {
             stages_[nstage].actReady[mb] = true;
+            stages_[nstage]
+                .actReadySpan[static_cast<std::size_t>(mb)] =
+                ctx_.xfer().lastSpanId();
             schedule(stages_[nstage].gpu);
         };
         ctx_.xfer().submit(act);
@@ -161,6 +182,7 @@ PipelineExecutor::onBwdCompute(int stage, int mb)
     StageState &s = stages_[stage];
     gpuBusy_[s.gpu] = false;
     ++s.bwdDone;
+    s.lastSpan = ctx_.compute(s.gpu).lastSpanId();
     if (mBwdMicrobatches_)
         mBwdMicrobatches_->add();
 
@@ -172,9 +194,15 @@ PipelineExecutor::onBwdCompute(int stage, int mb)
         g.bytes = prev.aOutBytes;
         g.kind = TrafficKind::ActivationGrad;
         g.priority = 1;
+        g.label = strfmt("g%d,%d", stage, mb);
+        g.deps = {s.lastSpan};
+        g.stage = stage - 1;
         int pstage = stage - 1;
         g.onComplete = [this, pstage, mb] {
             stages_[pstage].gradReady[mb] = true;
+            stages_[pstage]
+                .gradReadySpan[static_cast<std::size_t>(mb)] =
+                ctx_.xfer().lastSpanId();
             schedule(stages_[pstage].gpu);
         };
         ctx_.xfer().submit(g);

@@ -53,6 +53,15 @@ class PipelineExecutor
         int bwdDone = 0;
         std::vector<bool> actReady;
         std::vector<bool> gradReady;
+
+        /** Producing span per ready flag (kNoSpan = free input). */
+        std::vector<SpanId> actReadySpan;
+        std::vector<SpanId> gradReadySpan;
+        /** Own forward span per mb: the 1F1B last-stage backward
+         *  depends on its own forward (Eq. 11). */
+        std::vector<SpanId> fwdSpan;
+        /** Last compute on this stage (Eq. 9 serialisation edge). */
+        SpanId lastSpan = kNoSpan;
     };
 
     bool fwdReady(int stage) const;

@@ -90,10 +90,16 @@ TensorParallelExecutor::startCompute(int gpu)
                                   : cost_.fwdTime(layer);
     double t = base /
         (ctx_.numGpus() * cfg_.shardEfficiency);
+    // Gated by the previous slot's collective pieces and this GPU's
+    // previous compute.
+    std::vector<SpanId> deps = std::move(g.nextDeps);
+    g.nextDeps.clear();
+    deps.push_back(g.computeSpan);
     ctx_.compute(gpu).submit(
         t, [this, gpu, slot] { onCompute(gpu, slot); },
         strfmt("%c%d.%d", slotIsBwd(slot) ? 'b' : 'f', layer,
-               slot / (2 * numLayers_)));
+               slot / (2 * numLayers_)),
+        std::move(deps), layer);
 }
 
 void
@@ -103,6 +109,7 @@ TensorParallelExecutor::onCompute(int gpu, int slot)
     GpuState &g = gpus_[gpu];
     g.computing = false;
     g.computeDone = true;
+    g.computeSpan = ctx_.compute(gpu).lastSpanId();
 
     if (n == 1) {
         onPiece(gpu, slot); // degenerate collective
@@ -142,8 +149,14 @@ TensorParallelExecutor::onCompute(int gpu, int slot)
                 : TrafficKind::Activation;
             req.priority = cfg_.prioCollective;
             req.label = strfmt("ar%d", slot);
+            req.deps = {gpus_[src].computeSpan};
+            req.stage = layer;
             int d = dst;
-            req.onComplete = [this, d, slot] { onPiece(d, slot); };
+            req.onComplete = [this, d, slot] {
+                gpus_[d].nextDeps.push_back(
+                    ctx_.xfer().lastSpanId());
+                onPiece(d, slot);
+            };
             ctx_.xfer().submit(req);
         }
     }
@@ -177,12 +190,16 @@ TensorParallelExecutor::onPiece(int gpu, int slot)
             flush.bytes = shard;
             flush.kind = TrafficKind::Gradient;
             flush.priority = cfg_.prioGradient;
+            flush.label = strfmt("flush l%d", layer);
+            flush.deps = {g.computeSpan};
+            flush.stage = layer;
             int lyr = layer;
             flush.onComplete = [this, lyr, gpu] {
                 if (gpu == 0) {
                     ctx_.cpuOptimizer().apply(
                         cost_.model().layers[lyr].paramCount,
-                        strfmt("adam l%d", lyr));
+                        strfmt("adam l%d", lyr),
+                        {ctx_.xfer().lastSpanId()}, lyr);
                 }
             };
             ctx_.xfer().submit(flush);

@@ -78,6 +78,11 @@ class TensorParallelExecutor
         bool computing = false;
         bool computeDone = false;  //!< this slot's compute finished
         int piecesLeft = 0;        //!< collective pieces outstanding
+
+        /** Span of this GPU's most recent compute. */
+        SpanId computeSpan = kNoSpan;
+        /** Collective-piece spans gating the next slot's compute. */
+        std::vector<SpanId> nextDeps;
     };
 
     std::vector<GpuState> gpus_;

@@ -19,8 +19,11 @@ ZeroHeteroExecutor::ZeroHeteroExecutor(RunContext &ctx,
         g.shardDone.assign(static_cast<std::size_t>(slots), false);
         g.gatherRemaining.assign(static_cast<std::size_t>(slots), 0);
         g.held.assign(static_cast<std::size_t>(slots), 0);
+        g.gatherSpans.assign(static_cast<std::size_t>(slots), {});
     }
     gatherCount_.assign(static_cast<std::size_t>(slots), 0);
+    slotBarrierSpan_.assign(static_cast<std::size_t>(slots),
+                            kNoSpan);
     gradLanded_.assign(static_cast<std::size_t>(numLayers_), 0);
     peerSent_.assign(static_cast<std::size_t>(slots),
                      std::vector<bool>(static_cast<std::size_t>(n) *
@@ -93,7 +96,15 @@ ZeroHeteroExecutor::pump(int gpu)
         req.bytes = shard;
         req.kind = TrafficKind::Parameter;
         req.priority = cfg_.prioWeights + k;
-        req.onComplete = [this, gpu, k] { onShard(gpu, k); };
+        req.label = strfmt("%c%d.shard", slotIsBwd(k) ? 'b' : 'f',
+                           layer);
+        req.deps = {g.memFreedBy};
+        req.stage = layer;
+        req.onComplete = [this, gpu, k] {
+            gpus_[gpu].gatherSpans[static_cast<std::size_t>(k)]
+                .push_back(ctx_.xfer().lastSpanId());
+            onShard(gpu, k);
+        };
         ctx_.xfer().submit(req);
 
         // Backward additionally uploads the layer's checkpointed
@@ -105,6 +116,9 @@ ZeroHeteroExecutor::pump(int gpu)
             up.bytes = cost_.inActBytes(layer);
             up.kind = TrafficKind::Activation;
             up.priority = cfg_.prioCheckpoint;
+            up.label = strfmt("c%d", layer);
+            up.deps = {g.memFreedBy};
+            up.stage = layer;
             ctx_.xfer().submit(up);
         }
     }
@@ -130,7 +144,17 @@ ZeroHeteroExecutor::sendPeerPiece(int src, int dst, int k)
     req.bytes = piece;
     req.kind = TrafficKind::Parameter;
     req.priority = cfg_.prioWeights + k;
-    req.onComplete = [this, dst, k] { onPiece(dst, k); };
+    req.label = strfmt("ag%d:%d>%d", layer, src, dst);
+    // The sender could not forward a shard it did not have yet.
+    auto &spans =
+        gpus_[src].gatherSpans[static_cast<std::size_t>(k)];
+    req.deps = {spans.empty() ? kNoSpan : spans.front()};
+    req.stage = layer;
+    req.onComplete = [this, dst, k] {
+        gpus_[dst].gatherSpans[static_cast<std::size_t>(k)]
+            .push_back(ctx_.xfer().lastSpanId());
+        onPiece(dst, k);
+    };
     ctx_.xfer().submit(req);
 }
 
@@ -166,6 +190,9 @@ ZeroHeteroExecutor::onPiece(int gpu, int k)
         mGathersDone_->add();
     if (cfg_.layerSync && gatherCount_[k] == ctx_.numGpus()) {
         // Collective completed everywhere: all ranks may proceed.
+        // The transfer that just landed is the barrier release.
+        slotBarrierSpan_[static_cast<std::size_t>(k)] =
+            ctx_.xfer().lastSpanId();
         for (int other = 0; other < ctx_.numGpus(); ++other)
             tryCompute(other);
     } else {
@@ -190,9 +217,17 @@ ZeroHeteroExecutor::tryCompute(int gpu)
     int layer = slotLayer(k);
     double t = slotIsBwd(k) ? cost_.bwdTime(layer)
                             : cost_.fwdTime(layer);
+    // Gated by this rank's gathered pieces, the collective barrier
+    // (layerSync), and the previous compute on this GPU.
+    std::vector<SpanId> deps =
+        g.gatherSpans[static_cast<std::size_t>(k)];
+    if (cfg_.layerSync)
+        deps.push_back(slotBarrierSpan_[static_cast<std::size_t>(k)]);
+    deps.push_back(g.lastComputeSpan);
     ctx_.compute(gpu).submit(
         t, [this, gpu, k] { onCompute(gpu, k); },
-        strfmt("%c%d", slotIsBwd(k) ? 'b' : 'f', layer));
+        strfmt("%c%d", slotIsBwd(k) ? 'b' : 'f', layer),
+        std::move(deps), layer);
 }
 
 void
@@ -201,6 +236,7 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
     GpuState &g = gpus_[gpu];
     g.busy = false;
     ++g.nextCompute;
+    g.lastComputeSpan = ctx_.compute(gpu).lastSpanId();
     int layer = slotLayer(k);
 
     if (!slotIsBwd(k)) {
@@ -212,6 +248,9 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
             off.bytes = cost_.inActBytes(layer);
             off.kind = TrafficKind::Activation;
             off.priority = cfg_.prioCheckpoint;
+            off.label = strfmt("ckpt%d", layer);
+            off.deps = {g.lastComputeSpan};
+            off.stage = layer;
             ctx_.xfer().submit(off);
         }
     } else {
@@ -234,6 +273,9 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
             rs.bytes = piece;
             rs.kind = TrafficKind::Gradient;
             rs.priority = cfg_.prioGradient;
+            rs.label = strfmt("rs%d:%d>%d", layer, gpu, other);
+            rs.deps = {g.lastComputeSpan};
+            rs.stage = layer;
             ctx_.xfer().submit(rs);
         }
         TransferRequest grad;
@@ -242,12 +284,16 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
         grad.bytes = piece;
         grad.kind = TrafficKind::Gradient;
         grad.priority = cfg_.prioGradient;
+        grad.label = strfmt("flush l%d", layer);
+        grad.deps = {g.lastComputeSpan};
+        grad.stage = layer;
         int lyr = layer;
         grad.onComplete = [this, lyr] {
             if (++gradLanded_[lyr] == ctx_.numGpus()) {
                 ctx_.cpuOptimizer().apply(
                     cost_.model().layers[lyr].paramCount,
-                    strfmt("adam l%d", lyr));
+                    strfmt("adam l%d", lyr),
+                    {ctx_.xfer().lastSpanId()}, lyr);
             }
         };
         ctx_.xfer().submit(grad);
@@ -256,6 +302,7 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
     // Release the slot's memory and refill the prefetch window.
     ctx_.memory(gpu).free(g.held[k]);
     g.held[k] = 0;
+    g.memFreedBy = g.lastComputeSpan;
     pump(gpu);
     tryCompute(gpu);
 }

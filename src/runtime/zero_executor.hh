@@ -82,10 +82,21 @@ class ZeroHeteroExecutor
         std::vector<bool> shardDone;  //!< per slot: own shard in
         std::vector<int> gatherRemaining; //!< pieces still missing
         std::vector<Bytes> held;      //!< bytes resident per slot
+
+        /** Per slot: spans of the shard/piece transfers gathered
+         *  here — the causal inputs of the slot's compute. */
+        std::vector<std::vector<SpanId>> gatherSpans;
+        /** Last compute on this GPU (serialisation edge). */
+        SpanId lastComputeSpan = kNoSpan;
+        /** Compute whose completion last freed memory here. */
+        SpanId memFreedBy = kNoSpan;
     };
 
     std::vector<GpuState> gpus_;
     std::vector<int> gatherCount_;   //!< per slot: #GPUs gathered
+    /** Per slot: span that completed the collective on the last
+     *  rank — the layerSync barrier edge. */
+    std::vector<SpanId> slotBarrierSpan_;
     std::vector<int> gradLanded_;    //!< per layer: grad shards in
     /** peerSent_[k][src * N + dst]: piece transfer submitted. */
     std::vector<std::vector<bool>> peerSent_;

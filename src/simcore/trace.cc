@@ -1,8 +1,8 @@
 #include "simcore/trace.hh"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/logging.hh"
 #include "base/units.hh"
@@ -10,13 +10,124 @@
 namespace mobius
 {
 
+std::uint32_t
+TraceRecorder::intern(const std::string &s)
+{
+    auto it = internIndex_.find(s);
+    if (it != internIndex_.end())
+        return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(strings_.size());
+    strings_.push_back(s);
+    internIndex_.emplace(s, id);
+    return id;
+}
+
+SpanId
+TraceRecorder::record(TraceSpan span)
+{
+    // Large runs record hundreds of thousands of spans; grow in
+    // coarse steps from the start instead of doubling from 1.
+    if (spans_.size() == spans_.capacity())
+        spans_.reserve(spans_.empty() ? 1024 : spans_.size() * 2);
+
+    SpanRec rec;
+    rec.track = intern(span.track);
+    rec.category = intern(span.category);
+    rec.name = std::move(span.name);
+    rec.start = span.start;
+    rec.end = span.end;
+    rec.queuedAt = span.queuedAt;
+    rec.work = span.work;
+    rec.gpu = span.gpu;
+    rec.stage = span.stage;
+    rec.id = span.id == kNoSpan ? nextId_++ : span.id;
+    if (span.id != kNoSpan && span.id >= nextId_)
+        nextId_ = span.id + 1;
+    rec.deps.reserve(span.deps.size());
+    for (SpanId d : span.deps) {
+        if (d != kNoSpan)
+            rec.deps.push_back(d);
+    }
+    spans_.push_back(std::move(rec));
+    return spans_.back().id;
+}
+
+void
+TraceRecorder::recordCounter(TraceCounter counter)
+{
+    if (counters_.size() == counters_.capacity())
+        counters_.reserve(counters_.empty() ? 1024
+                                            : counters_.size() * 2);
+    counters_.push_back(std::move(counter));
+}
+
+TraceSpan
+TraceRecorder::materialise(const SpanRec &rec) const
+{
+    TraceSpan s;
+    s.track = strings_[rec.track];
+    s.name = rec.name;
+    s.category = strings_[rec.category];
+    s.start = rec.start;
+    s.end = rec.end;
+    s.queuedAt = rec.queuedAt;
+    s.work = rec.work;
+    s.id = rec.id;
+    s.gpu = rec.gpu;
+    s.stage = rec.stage;
+    s.deps = rec.deps;
+    return s;
+}
+
+TraceSpan
+TraceRecorder::span(std::size_t index) const
+{
+    return materialise(spans_.at(index));
+}
+
+std::vector<TraceSpan>
+TraceRecorder::spans() const
+{
+    std::vector<TraceSpan> out;
+    out.reserve(spans_.size());
+    for (const auto &rec : spans_)
+        out.push_back(materialise(rec));
+    return out;
+}
+
+bool
+TraceRecorder::findSpan(SpanId id, TraceSpan &out) const
+{
+    for (const auto &rec : spans_) {
+        if (rec.id == id) {
+            out = materialise(rec);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TraceRecorder::clear()
+{
+    spans_.clear();
+    counters_.clear();
+    strings_.clear();
+    internIndex_.clear();
+    nextId_ = 1;
+}
+
 std::vector<TraceSpan>
 TraceRecorder::onTrack(const std::string &track) const
 {
     std::vector<TraceSpan> out;
-    for (const auto &s : spans_) {
-        if (s.track == track)
-            out.push_back(s);
+    auto it = internIndex_.find(track);
+    if (it == internIndex_.end())
+        return out;
+    std::uint32_t want = it->second;
+    for (const auto &rec : spans_) {
+        if (rec.track == want)
+            out.push_back(materialise(rec));
     }
     std::sort(out.begin(), out.end(),
               [](const TraceSpan &a, const TraceSpan &b) {
@@ -29,9 +140,9 @@ std::vector<TraceSpan>
 TraceRecorder::named(const std::string &name) const
 {
     std::vector<TraceSpan> out;
-    for (const auto &s : spans_) {
-        if (s.name == name)
-            out.push_back(s);
+    for (const auto &rec : spans_) {
+        if (rec.name == name)
+            out.push_back(materialise(rec));
     }
     std::sort(out.begin(), out.end(),
               [](const TraceSpan &a, const TraceSpan &b) {
@@ -60,12 +171,21 @@ jsonEscape(const std::string &s)
 std::string
 TraceRecorder::toChromeJson() const
 {
-    // Stable process id 1; one thread id per track.
-    std::map<std::string, int> tids;
-    for (const auto &s : spans_) {
-        if (!tids.count(s.track))
-            tids.emplace(s.track,
-                         static_cast<int>(tids.size()) + 1);
+    // Stable process id 1; one thread id per track (name order).
+    std::map<std::uint32_t, int> tids;
+    for (const auto &rec : spans_)
+        tids.emplace(rec.track, 0);
+    {
+        std::vector<std::uint32_t> order;
+        for (const auto &[track, _] : tids)
+            order.push_back(track);
+        std::sort(order.begin(), order.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return strings_[a] < strings_[b];
+                  });
+        int tid = 1;
+        for (std::uint32_t t : order)
+            tids[t] = tid++;
     }
 
     std::ostringstream os;
@@ -77,22 +197,50 @@ TraceRecorder::toChromeJson() const
         first = false;
         os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
            << "\"tid\":" << tid << ",\"args\":{\"name\":\""
-           << jsonEscape(track) << "\"}}";
+           << jsonEscape(strings_[track]) << "\"}}";
     }
-    for (const auto &s : spans_) {
-        os << ",{\"name\":\"" << jsonEscape(s.name)
-           << "\",\"cat\":\"" << jsonEscape(s.category)
+    for (const auto &rec : spans_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(rec.name)
+           << "\",\"cat\":\"" << jsonEscape(strings_[rec.category])
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-           << tids.at(s.track) << ",\"ts\":" << s.start * 1e6
-           << ",\"dur\":" << s.duration() * 1e6 << "}";
+           << tids.at(rec.track) << ",\"ts\":" << rec.start * 1e6
+           << ",\"dur\":" << (rec.end - rec.start) * 1e6
+           << ",\"args\":{\"id\":" << rec.id << "}}";
+    }
+    // One flow-event pair per dependency edge: "s" anchored at the
+    // producing span's end, "f" (binding "e" = enclosing slice) at
+    // the consumer's start. Perfetto renders these as arrows.
+    std::unordered_map<SpanId, const SpanRec *> byId;
+    byId.reserve(spans_.size());
+    for (const auto &rec : spans_)
+        byId.emplace(rec.id, &rec);
+    std::uint64_t edge = 1;
+    for (const auto &rec : spans_) {
+        for (SpanId d : rec.deps) {
+            auto it = byId.find(d);
+            if (it == byId.end())
+                continue;
+            const SpanRec &src = *it->second;
+            os << ",{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\","
+               << "\"id\":" << edge << ",\"pid\":1,\"tid\":"
+               << tids.at(src.track) << ",\"ts\":" << src.end * 1e6
+               << "}";
+            os << ",{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\","
+               << "\"bp\":\"e\",\"id\":" << edge << ",\"pid\":1,"
+               << "\"tid\":" << tids.at(rec.track)
+               << ",\"ts\":" << rec.start * 1e6 << "}";
+            ++edge;
+        }
     }
     // Counter samples share pid 1; Perfetto groups them by name into
     // counter tracks rendered as graphs.
     for (const auto &c : counters_) {
-        if (first)
-            first = false;
-        else
+        if (!first)
             os << ",";
+        first = false;
         os << "{\"name\":\"" << jsonEscape(c.name)
            << "\",\"ph\":\"C\",\"pid\":1,\"ts\":" << c.time * 1e6
            << ",\"args\":{\"value\":" << c.value << "}}";
@@ -113,11 +261,12 @@ TraceRecorder::toAsciiGantt(int width) const
     SimTime t1 = spans_.front().end;
     std::size_t track_w = 0;
     std::map<std::string, int> tracks;
-    for (const auto &s : spans_) {
-        t0 = std::min(t0, s.start);
-        t1 = std::max(t1, s.end);
-        tracks.emplace(s.track, 0);
-        track_w = std::max(track_w, s.track.size());
+    for (const auto &rec : spans_) {
+        t0 = std::min(t0, rec.start);
+        t1 = std::max(t1, rec.end);
+        const std::string &track = strings_[rec.track];
+        tracks.emplace(track, 0);
+        track_w = std::max(track_w, track.size());
     }
     double span = std::max(t1 - t0, 1e-12);
 
@@ -125,13 +274,14 @@ TraceRecorder::toAsciiGantt(int width) const
     for (auto &[track, _] : tracks)
         rows[track] = std::string(static_cast<std::size_t>(width),
                                   '.');
-    for (const auto &s : spans_) {
-        int lo = static_cast<int>((s.start - t0) / span *
+    for (const auto &rec : spans_) {
+        int lo = static_cast<int>((rec.start - t0) / span *
                                   (width - 1));
-        int hi = static_cast<int>((s.end - t0) / span * (width - 1));
-        char mark = s.category == "compute" ? '#' : '=';
-        char head = s.name.empty() ? mark : s.name[0];
-        auto &row = rows[s.track];
+        int hi = static_cast<int>((rec.end - t0) / span *
+                                  (width - 1));
+        char mark = strings_[rec.category] == "compute" ? '#' : '=';
+        char head = rec.name.empty() ? mark : rec.name[0];
+        auto &row = rows[strings_[rec.track]];
         for (int i = lo; i <= hi && i < width; ++i)
             row[i] = i == lo ? head : mark;
     }

@@ -1,20 +1,45 @@
 /**
  * @file
- * Execution trace recording.
+ * Execution trace recording with causal dependency edges.
  *
  * Executors and engines emit spans (named intervals on a track, e.g.
  * "gpu0.compute" or "gpu2.h2d"); the metrics sampler additionally
  * emits counter samples (named time series, e.g. "xfer.queue.depth")
- * that Perfetto renders as live graphs. The recorder can export
- * Chrome tracing JSON (load in chrome://tracing or Perfetto) and
- * render an ASCII Gantt chart. Tests also use traces to assert
- * schedule invariants — e.g. that the executed Mobius pipeline
- * satisfies the paper's pipeline-order constraints (Eq. 8-11).
+ * that Perfetto renders as live graphs.
+ *
+ * Every recorded span gets a stable SpanId, and producers may attach
+ * *why* the span started when it did:
+ *
+ *  - `deps`     — ids of spans that causally enabled this one (the
+ *                 activation transfer a compute waited for, the weight
+ *                 chunks of a prefetch, the compute that freed memory
+ *                 for a stage load);
+ *  - `queuedAt` — when the work was ready to occupy its resource;
+ *                 `start - queuedAt` is time spent queued behind other
+ *                 work on the same engine or link (contention);
+ *  - `work`     — the span's intrinsic uncontended seconds; any excess
+ *                 of `duration()` over `work` is fair-share stretching
+ *                 (a transfer throttled below its bottleneck link).
+ *
+ * The completed-span DAG is what obs/critical_path.hh walks to
+ * attribute each step's time (compute / transfer / queue / optimizer
+ * / bubble). The recorder exports Chrome tracing JSON — including
+ * "ph":"s"/"f" flow events so Perfetto draws the dependency arrows —
+ * and an ASCII Gantt chart. Tests use the edges to assert schedule
+ * invariants, e.g. the paper's pipeline-order constraints (Eq. 8-11)
+ * directly on the DAG.
+ *
+ * Track and category strings are interned: each span stores two
+ * 32-bit ids instead of two heap strings, which keeps large-run
+ * traces from dominating simulator memory. The string API is
+ * preserved on record and on export.
  */
 
 #ifndef MOBIUS_SIMCORE_TRACE_HH
 #define MOBIUS_SIMCORE_TRACE_HH
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,6 +47,12 @@
 
 namespace mobius
 {
+
+/** Stable identifier of a recorded span. 0 means "no span". */
+using SpanId = std::uint64_t;
+
+/** The null span id. */
+constexpr SpanId kNoSpan = 0;
 
 /** One traced interval. */
 struct TraceSpan
@@ -32,8 +63,53 @@ struct TraceSpan
     SimTime start = 0.0;   //!< span begin (simulated seconds)
     SimTime end = 0.0;     //!< span end (simulated seconds)
 
+    /** Assigned by TraceRecorder::record() when left at kNoSpan. */
+    SpanId id = kNoSpan;
+    /** Spans that causally enabled this one (kNoSpan entries are
+     *  dropped on record). */
+    std::vector<SpanId> deps;
+    /**
+     * When the work could first have occupied its resource (all
+     * inputs present, request issued); < 0 means "at start", i.e. no
+     * measured queueing. `start - queuedAt` is queue wait.
+     */
+    SimTime queuedAt = -1.0;
+    /**
+     * Intrinsic uncontended seconds of the span (for a transfer:
+     * bytes / bottleneck bandwidth); < 0 means "the full duration".
+     * `duration() - work` is contention-induced stretch.
+     */
+    double work = -1.0;
+    int gpu = -1;   //!< owning GPU, -1 = none (e.g. CPU optimizer)
+    int stage = -1; //!< pipeline stage (or layer) gated, -1 = none
+
     /** @return span length in simulated seconds. */
     double duration() const { return end - start; }
+
+    /** @return effective ready time (clamped to [0, start]). */
+    SimTime
+    readyTime() const
+    {
+        if (queuedAt < 0.0 || queuedAt > start)
+            return start;
+        return queuedAt;
+    }
+
+    /** @return intrinsic work seconds (clamped to the duration). */
+    double
+    workSeconds() const
+    {
+        double d = duration();
+        if (work < 0.0 || work > d)
+            return d;
+        return work;
+    }
+
+    /** @return seconds queued before start (>= 0). */
+    double queueWait() const { return start - readyTime(); }
+
+    /** @return contention stretch inside the span (>= 0). */
+    double stretch() const { return duration() - workSeconds(); }
 };
 
 /**
@@ -51,22 +127,30 @@ struct TraceCounter
 class TraceRecorder
 {
   public:
-    /** Record a completed span. */
-    void
-    record(TraceSpan span)
-    {
-        spans_.push_back(std::move(span));
-    }
+    /**
+     * Record a completed span; interns its track/category strings.
+     * kNoSpan entries in @p span.deps are dropped.
+     * @return the span's id (assigned when @p span.id is kNoSpan).
+     */
+    SpanId record(TraceSpan span);
 
     /** Record one counter sample. */
-    void
-    recordCounter(TraceCounter counter)
-    {
-        counters_.push_back(std::move(counter));
-    }
+    void recordCounter(TraceCounter counter);
 
-    /** All recorded spans, in recording order. */
-    const std::vector<TraceSpan> &spans() const { return spans_; }
+    /** Number of recorded spans. */
+    std::size_t spanCount() const { return spans_.size(); }
+
+    /** Materialise the span at @p index (recording order). */
+    TraceSpan span(std::size_t index) const;
+
+    /** Materialise every recorded span, in recording order. */
+    std::vector<TraceSpan> spans() const;
+
+    /**
+     * Materialise the span with id @p id.
+     * @return true and fill @p out when found.
+     */
+    bool findSpan(SpanId id, TraceSpan &out) const;
 
     /** All recorded counter samples, in recording order. */
     const std::vector<TraceCounter> &
@@ -83,12 +167,7 @@ class TraceRecorder
     }
 
     /** Forget all recorded spans and counter samples. */
-    void
-    clear()
-    {
-        spans_.clear();
-        counters_.clear();
-    }
+    void clear();
 
     /** Spans on one track, in start order. */
     std::vector<TraceSpan> onTrack(const std::string &track) const;
@@ -97,9 +176,10 @@ class TraceRecorder
     std::vector<TraceSpan> named(const std::string &name) const;
 
     /**
-     * Serialise as Chrome tracing JSON ("traceEvents" array of
-     * complete events plus "ph":"C" counter events; microsecond
-     * timestamps).
+     * Serialise as Chrome tracing JSON: a "traceEvents" array of
+     * complete events ("ph":"X"), counter events ("ph":"C"), and one
+     * flow-event pair ("ph":"s"/"f") per dependency edge so Perfetto
+     * draws the causal arrows. Microsecond timestamps.
      */
     std::string toChromeJson() const;
 
@@ -110,8 +190,31 @@ class TraceRecorder
     std::string toAsciiGantt(int width = 72) const;
 
   private:
-    std::vector<TraceSpan> spans_;
+    /** Compact stored form: strings replaced by intern ids. */
+    struct SpanRec
+    {
+        std::uint32_t track = 0;
+        std::uint32_t category = 0;
+        std::string name;
+        SimTime start = 0.0;
+        SimTime end = 0.0;
+        SimTime queuedAt = -1.0;
+        double work = -1.0;
+        SpanId id = kNoSpan;
+        std::int32_t gpu = -1;
+        std::int32_t stage = -1;
+        std::vector<SpanId> deps;
+    };
+
+    std::uint32_t intern(const std::string &s);
+    TraceSpan materialise(const SpanRec &rec) const;
+
+    std::vector<SpanRec> spans_;
     std::vector<TraceCounter> counters_;
+    /** Interned track/category strings; index is the intern id. */
+    std::vector<std::string> strings_;
+    std::map<std::string, std::uint32_t> internIndex_;
+    SpanId nextId_ = 1;
 };
 
 } // namespace mobius

@@ -40,20 +40,34 @@ class ComputeEngine
 
     /**
      * Enqueue a kernel of @p duration seconds; @p on_complete fires
-     * when it retires. @p label names the span in traces.
+     * when it retires. @p label names the span in traces; @p deps
+     * are the spans that causally enabled this kernel (the transfers
+     * and computes it waited for) and @p stage is the pipeline stage
+     * it advances. The kernel's span records submit time as
+     * `queuedAt`, so time queued behind earlier kernels shows up as
+     * contention in critical-path attribution.
      */
     void
     submit(double duration, std::function<void()> on_complete,
-           std::string label = "")
+           std::string label = "", std::vector<SpanId> deps = {},
+           int stage = -1)
     {
         tasks_.push_back(Task{duration, std::move(on_complete),
-                              std::move(label)});
+                              std::move(label), std::move(deps),
+                              stage, queue_.now()});
         if (!busy_)
             startNext();
     }
 
     /** @return true when nothing is running or queued. */
     bool idle() const { return !busy_ && tasks_.empty(); }
+
+    /**
+     * Id of the most recently retired kernel's span (kNoSpan before
+     * any retires, or without a recorder). Valid inside completion
+     * callbacks: the span is recorded just before the callback runs.
+     */
+    SpanId lastSpanId() const { return lastSpan_; }
 
     /** The GPU index this engine models. */
     int gpu() const { return gpu_; }
@@ -67,6 +81,9 @@ class ComputeEngine
         double duration;
         std::function<void()> onComplete;
         std::string label;
+        std::vector<SpanId> deps;
+        int stage = -1;
+        SimTime queuedAt = -1.0;
     };
 
     void
@@ -91,13 +108,24 @@ class ComputeEngine
         queue_.scheduleAfter(
             task.duration,
             [this, start, cb = std::move(task.onComplete),
-             label = std::move(task.label)] {
+             label = std::move(task.label),
+             deps = std::move(task.deps), stage = task.stage,
+             queuedAt = task.queuedAt] {
                 if (usage_)
                     usage_->computeEnd(gpu_);
                 if (trace_) {
-                    trace_->record(TraceSpan{
-                        "gpu" + std::to_string(gpu_) + ".compute",
-                        label, "compute", start, queue_.now()});
+                    TraceSpan s;
+                    s.track =
+                        "gpu" + std::to_string(gpu_) + ".compute";
+                    s.name = label;
+                    s.category = "compute";
+                    s.start = start;
+                    s.end = queue_.now();
+                    s.deps = deps;
+                    s.queuedAt = queuedAt;
+                    s.gpu = gpu_;
+                    s.stage = stage;
+                    lastSpan_ = trace_->record(std::move(s));
                 }
                 busy_ = false;
                 if (cb)
@@ -114,6 +142,7 @@ class ComputeEngine
     Histogram *mKernelSeconds_ = nullptr;
     bool busy_ = false;
     double busyTime_ = 0.0;
+    SpanId lastSpan_ = kNoSpan;
     std::deque<Task> tasks_;
 };
 

@@ -70,6 +70,7 @@ TransferEngine::submit(TransferRequest req)
     flow.seq = nextSeq_++;
     flow.req = std::move(req);
     flow.remaining = flow.req.bytes;
+    flow.submitTime = queue_.now();
 
     // Route. GPU->GPU without P2P is staged through DRAM: model the
     // chunked staging as one cut-through flow across both legs.
@@ -292,6 +293,18 @@ TransferEngine::finish(FlowId id)
     sample.peerOnly = flow.peerOnly;
     stats_.record(sample);
 
+    // Uncontended bottleneck: the slowest link-direction on the
+    // route (and the flow's own cap, if any). Finishing below it
+    // means fair sharing stalled this flow; the shortfall is the
+    // span's contention stretch in critical-path attribution.
+    double bottleneck = flow.req.rateCap > 0.0
+        ? flow.req.rateCap
+        : std::numeric_limits<double>::infinity();
+    for (int pool : flow.pools)
+        bottleneck = std::min(
+            bottleneck,
+            poolCapacity_[static_cast<std::size_t>(pool)]);
+
     if (mCompleted_) {
         mCompleted_->add();
         --activeCount_;
@@ -302,16 +315,6 @@ TransferEngine::finish(FlowId id)
         }
         if (duration > 0 && flow.req.bytes > 0) {
             mBandwidth_->record(sample.bandwidth);
-            // Uncontended bottleneck: the slowest link-direction on
-            // the route (and the flow's own cap, if any). Finishing
-            // well below it means fair sharing stalled this flow.
-            double bottleneck = flow.req.rateCap > 0.0
-                ? flow.req.rateCap
-                : std::numeric_limits<double>::infinity();
-            for (int pool : flow.pools)
-                bottleneck = std::min(
-                    bottleneck,
-                    poolCapacity_[static_cast<std::size_t>(pool)]);
             if (std::isfinite(bottleneck) &&
                 sample.bandwidth < 0.98 * bottleneck)
                 mStalled_->add();
@@ -330,12 +333,25 @@ TransferEngine::finish(FlowId id)
         } else {
             track = "gpu" + std::to_string(src.gpu) + ".d2h";
         }
-        std::string name = flow.req.label.empty()
+        TraceSpan s;
+        s.track = std::move(track);
+        s.name = flow.req.label.empty()
             ? trafficKindName(flow.req.kind)
             : flow.req.label;
-        trace_->record(TraceSpan{std::move(track), std::move(name),
-                                 "transfer", flow.dataStart,
-                                 queue_.now()});
+        s.category = "transfer";
+        s.start = flow.dataStart;
+        s.end = queue_.now();
+        s.deps = std::move(flow.req.deps);
+        // Ready once submitted and past the fixed setup cost; any
+        // later start is queueing behind other DMA on the engines.
+        s.queuedAt = flow.submitTime + cfg_.setupLatency;
+        // Intrinsic seconds at the uncontended bottleneck rate.
+        if (std::isfinite(bottleneck) && bottleneck > 0.0)
+            s.work = static_cast<double>(flow.req.bytes) /
+                bottleneck;
+        s.gpu = flow.req.statsGpu;
+        s.stage = flow.req.stage;
+        lastSpan_ = trace_->record(std::move(s));
     }
 
     if (usage_) {

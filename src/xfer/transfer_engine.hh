@@ -56,6 +56,11 @@ struct TransferRequest
     double rateCap = 0.0;
     std::string label;            //!< trace span name
     std::function<void()> onComplete; //!< fires when the flow lands
+    /** Spans that causally enabled this transfer (e.g. the compute
+     *  that produced the activation, or the eviction that freed
+     *  destination memory). */
+    std::vector<SpanId> deps;
+    int stage = -1;               //!< pipeline stage gated, -1 = none
 };
 
 /** Per-transfer engine configuration. */
@@ -88,6 +93,13 @@ class TransferEngine
 
     const Topology &topo() const { return topo_; }
 
+    /**
+     * Id of the most recently finished transfer's span (kNoSpan
+     * before any finish, or without a recorder). Valid inside
+     * onComplete callbacks: the span is recorded before they fire.
+     */
+    SpanId lastSpanId() const { return lastSpan_; }
+
   private:
     enum class FlowState { Waiting, Setup, Moving };
 
@@ -102,6 +114,7 @@ class TransferEngine
         FlowState state = FlowState::Waiting;
         Bytes remaining = 0;
         double rate = 0.0;
+        SimTime submitTime = 0.0;
         SimTime dataStart = 0.0;
         SimTime lastUpdate = 0.0;
         EventId pendingEvent = kNoEvent;
@@ -153,6 +166,7 @@ class TransferEngine
     std::vector<double> poolCapacity_;
     FlowId nextId_ = 1;
     std::uint64_t nextSeq_ = 1;
+    SpanId lastSpan_ = kNoSpan;
 
     /**
      * Metric handles, cached at construction (all null when metrics

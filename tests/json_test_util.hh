@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests.
+ *
+ * The simulator hand-serialises several JSON documents (Chrome
+ * traces, the metrics registry, attribution reports, bench outputs);
+ * these helpers let tests assert the output actually *parses* and
+ * that strings survive escaping, instead of substring-matching.
+ *
+ * Deliberately small: numbers become double, object member order is
+ * preserved but duplicate keys are not rejected, and \uXXXX escapes
+ * decode the code point as UTF-8. parseJson() throws
+ * std::runtime_error with a byte offset on malformed input, which
+ * gtest reports as the test failure.
+ */
+
+#ifndef MOBIUS_TESTS_JSON_TEST_UTIL_HH
+#define MOBIUS_TESTS_JSON_TEST_UTIL_HH
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mobius::testjson
+{
+
+/** One parsed JSON value (a tagged union over the six kinds). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** @return whether this object has a member named @p key. */
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return true;
+        }
+        return false;
+    }
+
+    /** @return member @p key; throws when absent or not an object. */
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("json: at(\"" + key +
+                                     "\") on a non-object");
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return v;
+        }
+        throw std::runtime_error("json: no member \"" + key + "\"");
+    }
+
+    /** @return array element @p i; throws when out of range. */
+    const JsonValue &
+    operator[](std::size_t i) const
+    {
+        if (kind != Kind::Array || i >= array.size())
+            throw std::runtime_error("json: bad array index");
+        return array[i];
+    }
+};
+
+namespace detail
+{
+
+/** Recursive-descent parser over one input string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at byte " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = stringLiteral();
+            return v;
+        }
+        if (consume("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consume("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consume("null"))
+            return JsonValue{};
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return numberValue();
+        fail("unexpected character");
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = stringLiteral();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    stringLiteral()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += unicodeEscape(); break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    std::string
+    unicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u digit");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs are
+        // not recombined; the exporters never emit them).
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double d = std::strtod(begin, &end);
+        if (end == begin)
+            fail("bad number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return detail::Parser(text).parse();
+}
+
+} // namespace mobius::testjson
+
+#endif // MOBIUS_TESTS_JSON_TEST_UTIL_HH

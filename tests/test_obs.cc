@@ -15,11 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "json_test_util.hh"
 #include "obs/metrics.hh"
 #include "runtime/api.hh"
 #include "runtime/mobius_executor.hh"
 #include "runtime/run_context.hh"
-#include "simcore/sampler.hh"
+#include "obs/sampler.hh"
 #include "simcore/trace.hh"
 
 namespace mobius
@@ -226,6 +227,30 @@ TEST(Export, JsonEscapesNames)
               std::string::npos);
 }
 
+TEST(Export, JsonParsesAndRoundTripsEscapedNames)
+{
+    // Stronger than substring checks: the registry export must be
+    // *valid* JSON and names with '"' and '\' must survive a full
+    // serialise -> parse round trip.
+    MetricsRegistry reg;
+    reg.counter("weird\"name\\here").add(42.0);
+    reg.gauge("plain").set(2.5);
+    reg.histogram("h").record(1.0);
+
+    testjson::JsonValue doc;
+    ASSERT_NO_THROW(doc = testjson::parseJson(reg.toJson()));
+    const auto &counters = doc.at("counters");
+    ASSERT_TRUE(counters.has("weird\"name\\here"));
+    EXPECT_DOUBLE_EQ(counters.at("weird\"name\\here").number,
+                     42.0);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("plain").at("value")
+                         .number,
+                     2.5);
+    const auto &h = doc.at("histograms").at("h");
+    EXPECT_DOUBLE_EQ(h.at("count").number, 1.0);
+    EXPECT_TRUE(h.has("p99"));
+}
+
 TEST(Export, CsvOneRowPerMetric)
 {
     MetricsRegistry reg;
@@ -255,7 +280,12 @@ TEST(Export, CsvOneRowPerMetric)
 TEST(TraceCounters, ChromeJsonEmitsCounterEvents)
 {
     TraceRecorder rec;
-    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 0.5});
+    TraceSpan s;
+    s.track = "gpu0.compute";
+    s.name = "F0,0";
+    s.category = "compute";
+    s.end = 0.5;
+    rec.record(s);
     rec.recordCounter({"xfer.queue.depth", 0.0, 1.0});
     rec.recordCounter({"xfer.queue.depth", 0.1, 3.0});
 

@@ -1,13 +1,18 @@
 /**
  * @file
  * Trace recorder tests, plus trace-driven verification that the
- * *executed* Mobius schedule satisfies the paper's pipeline-order
- * constraints (Eq. 8-11) — not just the analytic evaluator.
+ * *executed* Mobius and 1F1B schedules satisfy the paper's
+ * pipeline-order constraints (Eq. 8-11) — both on span timestamps
+ * and causally, as reachability over the recorded `deps` DAG.
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "base/logging.hh"
+#include "json_test_util.hh"
 #include "runtime/api.hh"
 #include "simcore/trace.hh"
 
@@ -16,12 +21,62 @@ namespace mobius
 namespace
 {
 
+/** Build a span field-by-field (aggregate init would warn). */
+TraceSpan
+mkSpan(const std::string &track, const std::string &name,
+       const std::string &category, double start, double end)
+{
+    TraceSpan s;
+    s.track = track;
+    s.name = name;
+    s.category = category;
+    s.start = start;
+    s.end = end;
+    return s;
+}
+
+/** Reachability queries over a recorded span DAG. */
+class DagView
+{
+  public:
+    explicit DagView(const TraceRecorder &trace)
+    {
+        for (TraceSpan &s : trace.spans())
+            byId_.emplace(s.id, std::move(s));
+    }
+
+    /** @return whether @p from transitively depends on @p to. */
+    bool
+    reaches(SpanId from, SpanId to) const
+    {
+        std::vector<SpanId> stack{from};
+        std::set<SpanId> seen;
+        while (!stack.empty()) {
+            SpanId id = stack.back();
+            stack.pop_back();
+            if (id == to)
+                return true;
+            if (!seen.insert(id).second)
+                continue;
+            auto it = byId_.find(id);
+            if (it == byId_.end())
+                continue;
+            for (SpanId d : it->second.deps)
+                stack.push_back(d);
+        }
+        return false;
+    }
+
+  private:
+    std::map<SpanId, TraceSpan> byId_;
+};
+
 TEST(TraceRecorder, TrackAndNameQueries)
 {
     TraceRecorder rec;
-    rec.record({"gpu0.compute", "F1,0", "compute", 2.0, 3.0});
-    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 1.0});
-    rec.record({"gpu1.compute", "F1,1", "compute", 1.5, 2.5});
+    rec.record(mkSpan("gpu0.compute", "F1,0", "compute", 2.0, 3.0));
+    rec.record(mkSpan("gpu0.compute", "F0,0", "compute", 0.0, 1.0));
+    rec.record(mkSpan("gpu1.compute", "F1,1", "compute", 1.5, 2.5));
 
     auto t0 = rec.onTrack("gpu0.compute");
     ASSERT_EQ(t0.size(), 2u);
@@ -36,8 +91,8 @@ TEST(TraceRecorder, TrackAndNameQueries)
 TEST(TraceRecorder, ChromeJsonWellFormed)
 {
     TraceRecorder rec;
-    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 0.5});
-    rec.record({"gpu0.h2d", "S1.fwd", "transfer", 0.1, 0.4});
+    rec.record(mkSpan("gpu0.compute", "F0,0", "compute", 0.0, 0.5));
+    rec.record(mkSpan("gpu0.h2d", "S1.fwd", "transfer", 0.1, 0.4));
     std::string json = rec.toChromeJson();
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("\"F0,0\""), std::string::npos);
@@ -57,12 +112,90 @@ TEST(TraceRecorder, ChromeJsonWellFormed)
 TEST(TraceRecorder, AsciiGanttRendersEveryTrack)
 {
     TraceRecorder rec;
-    rec.record({"gpu0.compute", "F0,0", "compute", 0.0, 0.5});
-    rec.record({"gpu1.compute", "F1,0", "compute", 0.5, 1.0});
+    rec.record(mkSpan("gpu0.compute", "F0,0", "compute", 0.0, 0.5));
+    rec.record(mkSpan("gpu1.compute", "F1,0", "compute", 0.5, 1.0));
     std::string g = rec.toAsciiGantt(40);
     EXPECT_NE(g.find("gpu0.compute"), std::string::npos);
     EXPECT_NE(g.find("gpu1.compute"), std::string::npos);
     EXPECT_NE(g.find("F"), std::string::npos);
+}
+
+TEST(TraceRecorder, AssignsStableIdsAndDropsNullDeps)
+{
+    TraceRecorder rec;
+    SpanId a = rec.record(
+        mkSpan("gpu0.compute", "A", "compute", 0.0, 1.0));
+    TraceSpan b = mkSpan("gpu0.compute", "B", "compute", 1.0, 2.0);
+    b.deps = {a, kNoSpan, a};
+    SpanId bid = rec.record(b);
+    EXPECT_NE(a, kNoSpan);
+    EXPECT_NE(bid, a);
+
+    TraceSpan out;
+    ASSERT_TRUE(rec.findSpan(bid, out));
+    ASSERT_EQ(out.deps.size(), 2u); // kNoSpan dropped
+    EXPECT_EQ(out.deps[0], a);
+    EXPECT_FALSE(rec.findSpan(kNoSpan, out));
+}
+
+TEST(TraceRecorder, QueueWaitAndStretchDerivations)
+{
+    TraceSpan s = mkSpan("gpu0.h2d", "S0.fwd", "transfer", 2.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.queueWait(), 0.0); // unset => "at start"
+    EXPECT_DOUBLE_EQ(s.stretch(), 0.0);   // unset => all work
+    s.queuedAt = 1.0;
+    s.work = 2.0;
+    EXPECT_DOUBLE_EQ(s.queueWait(), 1.0);
+    EXPECT_DOUBLE_EQ(s.stretch(), 1.0);
+    // Out-of-range markers clamp instead of going negative.
+    s.queuedAt = 9.0;
+    s.work = 99.0;
+    EXPECT_DOUBLE_EQ(s.queueWait(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stretch(), 0.0);
+}
+
+TEST(TraceRecorder, ChromeJsonParsesAndRoundTripsEscapes)
+{
+    TraceRecorder rec;
+    SpanId a = rec.record(mkSpan("gpu0.compute", "quote\" back\\sl",
+                                 "compute", 0.0, 0.5));
+    TraceSpan b =
+        mkSpan("track\"x\\y", "B", "transfer", 0.5, 1.0);
+    b.deps = {a};
+    rec.record(b);
+    rec.recordCounter({"depth\"q", 0.1, 2.0});
+
+    testjson::JsonValue doc;
+    ASSERT_NO_THROW(doc = testjson::parseJson(rec.toChromeJson()));
+    const auto &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    bool name_ok = false, track_ok = false, counter_ok = false;
+    int flow_s = 0, flow_f = 0;
+    for (const auto &e : events.array) {
+        const std::string &ph = e.at("ph").string;
+        const std::string &name = e.at("name").string;
+        if (ph == "X" && name == "quote\" back\\sl")
+            name_ok = true;
+        if (ph == "M" &&
+            e.at("args").at("name").string == "track\"x\\y") {
+            track_ok = true;
+        }
+        if (ph == "C" && name == "depth\"q") {
+            counter_ok = true;
+            EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 2.0);
+        }
+        if (ph == "s")
+            ++flow_s;
+        if (ph == "f")
+            ++flow_f;
+    }
+    EXPECT_TRUE(name_ok);    // '"' and '\' survive the round trip
+    EXPECT_TRUE(track_ok);
+    EXPECT_TRUE(counter_ok);
+    // One flow pair per dependency edge.
+    EXPECT_EQ(flow_s, 1);
+    EXPECT_EQ(flow_f, 1);
 }
 
 /** Runs one Mobius step and exposes the trace. */
@@ -162,6 +295,72 @@ TEST_F(MobiusTraceTest, Eq9WeightsBeforeCompute)
     }
 }
 
+TEST_F(MobiusTraceTest, Eq8DagEdges)
+{
+    // Causal version of Eq. 8: the DAG itself must encode *why* a
+    // stage waited — F(j,m) transitively depends on F(j-1,m)
+    // (through the activation handoff), and B(j-1,m) on B(j,m)
+    // (through the gradient handoff), not merely start later.
+    DagView dag(ctx_->trace());
+    for (int j = 1; j < S_; ++j) {
+        for (int m = 0; m < M_; ++m) {
+            EXPECT_TRUE(dag.reaches(span(strfmt("F%d,%d", j, m)).id,
+                                    span(strfmt("F%d,%d", j - 1, m))
+                                        .id))
+                << "F" << j << "," << m;
+            EXPECT_TRUE(
+                dag.reaches(span(strfmt("B%d,%d", j - 1, m)).id,
+                            span(strfmt("B%d,%d", j, m)).id))
+                << "B" << j - 1 << "," << m;
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, Eq10DagEdges)
+{
+    // Causal version of Eq. 10: a stage's microbatches chain
+    // through its compute engine in order.
+    DagView dag(ctx_->trace());
+    for (int j = 0; j < S_; ++j) {
+        for (int m = 1; m < M_; ++m) {
+            EXPECT_TRUE(dag.reaches(span(strfmt("F%d,%d", j, m)).id,
+                                    span(strfmt("F%d,%d", j, m - 1))
+                                        .id))
+                << "F" << j << "," << m;
+            EXPECT_TRUE(dag.reaches(span(strfmt("B%d,%d", j, m)).id,
+                                    span(strfmt("B%d,%d", j, m - 1))
+                                        .id))
+                << "B" << j << "," << m;
+        }
+    }
+}
+
+TEST_F(MobiusTraceTest, Eq11DagEdge)
+{
+    // Causal version of Eq. 11: the first backward of the last
+    // stage depends on that stage's final forward.
+    DagView dag(ctx_->trace());
+    EXPECT_TRUE(dag.reaches(span(strfmt("B%d,0", S_ - 1)).id,
+                            span(strfmt("F%d,%d", S_ - 1, M_ - 1))
+                                .id));
+}
+
+TEST_F(MobiusTraceTest, Eq9DagWeightEdges)
+{
+    // Causal version of Eq. 9: a stage's first forward depends on
+    // its weight-load chunks (every stage loads from DRAM).
+    DagView dag(ctx_->trace());
+    for (int j = 0; j < S_; ++j) {
+        auto loads = ctx_->trace().named(strfmt("S%d.fwd", j));
+        ASSERT_FALSE(loads.empty()) << "stage " << j;
+        SpanId f = span(strfmt("F%d,0", j)).id;
+        for (const auto &l : loads) {
+            EXPECT_TRUE(dag.reaches(f, l.id))
+                << "F" << j << ",0 <- " << l.name;
+        }
+    }
+}
+
 TEST_F(MobiusTraceTest, ComputeSpansNeverOverlapPerGpu)
 {
     for (int g = 0; g < ctx_->numGpus(); ++g) {
@@ -206,6 +405,91 @@ TEST_F(MobiusTraceTest, GanttAndJsonExportWork)
     EXPECT_GT(json.size(), 1000u);
     std::string gantt = ctx_->trace().toAsciiGantt();
     EXPECT_NE(gantt.find("gpu0.compute"), std::string::npos);
+}
+
+/** Runs one 1F1B pipeline step and exposes the trace. */
+class OneFOneBTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        server_ = std::make_unique<Server>(
+            makeCommodityServer({2, 2}));
+        work_ = std::make_unique<Workload>(gpt3b(), *server_);
+        S_ = server_->topo.numGpus();
+        Partition p =
+            balancedComputePartition(work_->cost(), S_);
+        Mapping m = sequentialMapping(server_->topo, S_);
+        ctx_ = std::make_unique<RunContext>(*server_);
+        PipelineExecutor exec(*ctx_, work_->cost(), p, m,
+                              PipelineSchedule::OneFOneB);
+        exec.run();
+        M_ = work_->cost().cfg().numMicrobatches;
+    }
+
+    /** The unique span named @p name; fails the test if absent. */
+    TraceSpan
+    span(const std::string &name)
+    {
+        auto v = ctx_->trace().named(name);
+        EXPECT_EQ(v.size(), 1u) << name;
+        return v.empty() ? TraceSpan{} : v[0];
+    }
+
+    std::unique_ptr<Server> server_;
+    std::unique_ptr<Workload> work_;
+    std::unique_ptr<RunContext> ctx_;
+    int S_ = 0;
+    int M_ = 0;
+};
+
+TEST_F(OneFOneBTraceTest, Eq8DagEdges)
+{
+    DagView dag(ctx_->trace());
+    for (int j = 1; j < S_; ++j) {
+        for (int m = 0; m < M_; ++m) {
+            EXPECT_TRUE(dag.reaches(span(strfmt("F%d,%d", j, m)).id,
+                                    span(strfmt("F%d,%d", j - 1, m))
+                                        .id))
+                << "F" << j << "," << m;
+            EXPECT_TRUE(
+                dag.reaches(span(strfmt("B%d,%d", j - 1, m)).id,
+                            span(strfmt("B%d,%d", j, m)).id))
+                << "B" << j - 1 << "," << m;
+        }
+    }
+}
+
+TEST_F(OneFOneBTraceTest, Eq10DagEdges)
+{
+    DagView dag(ctx_->trace());
+    for (int j = 0; j < S_; ++j) {
+        for (int m = 1; m < M_; ++m) {
+            EXPECT_TRUE(dag.reaches(span(strfmt("F%d,%d", j, m)).id,
+                                    span(strfmt("F%d,%d", j, m - 1))
+                                        .id))
+                << "F" << j << "," << m;
+            EXPECT_TRUE(dag.reaches(span(strfmt("B%d,%d", j, m)).id,
+                                    span(strfmt("B%d,%d", j, m - 1))
+                                        .id))
+                << "B" << j << "," << m;
+        }
+    }
+}
+
+TEST_F(OneFOneBTraceTest, BackwardGatedByOwnForward)
+{
+    // The 1F1B pivot: the last stage turns each microbatch around
+    // immediately, so B(S-1,m) hangs off F(S-1,m) — not off the
+    // final forward as in a GPipe-style flush (Eq. 11).
+    DagView dag(ctx_->trace());
+    for (int m = 0; m < M_; ++m) {
+        EXPECT_TRUE(
+            dag.reaches(span(strfmt("B%d,%d", S_ - 1, m)).id,
+                        span(strfmt("F%d,%d", S_ - 1, m)).id))
+            << m;
+    }
 }
 
 TEST(PrefetchAblation, PrefetchHelpsWhenLoadsAreCoarse)

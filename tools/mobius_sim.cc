@@ -38,6 +38,11 @@
  *   --metrics-interval SEC         counter sampling period in
  *                                  simulated seconds (default 0.01)
  *   --gantt                        print the ASCII schedule
+ *   --explain                      print the critical-path blame
+ *                                  table (where the step's time went)
+ *   --explain-json                 same, as JSON on stdout (embedded
+ *                                  under "attribution" with --json)
+ *   --explain-top K                path entries in reports (def. 10)
  */
 
 #include <cstdio>
@@ -45,9 +50,10 @@
 #include <memory>
 
 #include "base/args.hh"
+#include "obs/critical_path.hh"
 #include "obs/metrics.hh"
 #include "runtime/report.hh"
-#include "simcore/sampler.hh"
+#include "obs/sampler.hh"
 
 using namespace mobius;
 
@@ -149,6 +155,9 @@ main(int argc, char **argv)
         double metrics_interval =
             args.getDouble("metrics-interval", 0.01);
         bool gantt = args.has("gantt");
+        bool explain = args.has("explain");
+        bool explain_json = args.has("explain-json");
+        int explain_top = args.getInt("explain-top", 10);
         int steps = args.getInt("steps", 0);
 
         PlanOptions popts;
@@ -222,6 +231,9 @@ main(int argc, char **argv)
         }
 
         Bytes p32 = work.model().totalParamBytesFp32();
+        StepAttribution attrib;
+        if (explain || explain_json)
+            attrib = attributeStep(ctx.trace());
         if (json) {
             std::printf("{\"server\":\"%s\",\"model\":\"%s\","
                         "\"stats\":%s",
@@ -229,6 +241,10 @@ main(int argc, char **argv)
                         stepStatsToJson(stats, p32).c_str());
             if (!plan_json.empty())
                 std::printf(",\"plan\":%s", plan_json.c_str());
+            if (explain || explain_json)
+                std::printf(",\"attribution\":%s",
+                            attributionToJson(attrib, explain_top)
+                                .c_str());
             if (steps > 0) {
                 auto est = estimateFineTune(server, stats.stepTime,
                                             steps);
@@ -237,6 +253,10 @@ main(int argc, char **argv)
                             steps, est.hours, est.dollars);
             }
             std::printf("}\n");
+        } else if (explain_json) {
+            std::printf("%s\n",
+                        attributionToJson(attrib, explain_top)
+                            .c_str());
         } else {
             std::printf("server: %s\nmodel:  %s (%s FP32)\n"
                         "system: %s\n\n",
@@ -258,6 +278,10 @@ main(int argc, char **argv)
                             steps, est.hours, est.dollars);
             }
             printPhaseTable(ctx, registry, stats.stepTime);
+            if (explain)
+                std::printf("\n%s",
+                            attributionTable(attrib, explain_top)
+                                .c_str());
         }
 
         if (!trace_file.empty()) {
