@@ -27,7 +27,7 @@ Args::Args(int argc, const char *const *argv)
         }
         if (key.empty())
             fatal("empty option name in '%s'", arg.c_str());
-        values_[key] = value;
+        values_[key].push_back(value);
         used_[key] = false;
     }
 }
@@ -42,12 +42,32 @@ Args::has(const std::string &key) const
     return true;
 }
 
-std::string
-Args::get(const std::string &key, const std::string &fallback) const
+const std::string *
+Args::single(const std::string &key) const
 {
     auto it = values_.find(key);
     if (it == values_.end())
-        return fallback;
+        return nullptr;
+    used_[key] = true;
+    if (it->second.size() > 1)
+        fatal("--%s given %zu times; it takes a single value",
+              key.c_str(), it->second.size());
+    return &it->second.front();
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    const std::string *v = single(key);
+    return v ? *v : fallback;
+}
+
+std::vector<std::string>
+Args::getStrings(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return {};
     used_[key] = true;
     return it->second;
 }
@@ -55,30 +75,50 @@ Args::get(const std::string &key, const std::string &fallback) const
 int
 Args::getInt(const std::string &key, int fallback) const
 {
-    auto it = values_.find(key);
-    if (it == values_.end())
+    const std::string *s = single(key);
+    if (s == nullptr)
         return fallback;
-    used_[key] = true;
     char *end = nullptr;
-    long v = std::strtol(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    long v = std::strtol(s->c_str(), &end, 10);
+    if (end == nullptr || end == s->c_str() || *end != '\0')
         fatal("--%s expects an integer, got '%s'", key.c_str(),
-              it->second.c_str());
+              s->c_str());
     return static_cast<int>(v);
 }
 
 double
 Args::getDouble(const std::string &key, double fallback) const
 {
-    auto it = values_.find(key);
-    if (it == values_.end())
+    const std::string *s = single(key);
+    if (s == nullptr)
         return fallback;
-    used_[key] = true;
     char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0')
+    double v = std::strtod(s->c_str(), &end);
+    if (end == nullptr || end == s->c_str() || *end != '\0')
         fatal("--%s expects a number, got '%s'", key.c_str(),
-              it->second.c_str());
+              s->c_str());
+    return v;
+}
+
+int
+Args::getIntIn(const std::string &key, int fallback, int lo,
+               int hi) const
+{
+    int v = getInt(key, fallback);
+    if (v < lo || v > hi)
+        fatal("--%s must be in [%d, %d], got %d", key.c_str(), lo,
+              hi, v);
+    return v;
+}
+
+double
+Args::getDoubleIn(const std::string &key, double fallback, double lo,
+                  double hi) const
+{
+    double v = getDouble(key, fallback);
+    if (v < lo || v > hi)
+        fatal("--%s must be in [%g, %g], got %g", key.c_str(), lo,
+              hi, v);
     return v;
 }
 

@@ -1,8 +1,14 @@
 /**
  * @file
  * Minimal command-line argument parser for the tools and examples:
- * "--key value" and "--flag" styles, with typed accessors and an
- * unknown-argument check.
+ * "--key value" and "--flag" styles, with typed accessors, range
+ * validation, and an unknown-argument check.
+ *
+ * Options are single-valued by default: passing the same option
+ * twice is a user error and the single-value accessors fatal() on
+ * it. Options that are meant to repeat (e.g. mobius_sim --whatif)
+ * are read with getStrings(), which returns every occurrence in
+ * command-line order.
  */
 
 #ifndef MOBIUS_BASE_ARGS_HH
@@ -29,15 +35,32 @@ class Args
     /** @return true when @p key was present on the command line. */
     bool has(const std::string &key) const;
 
-    /** String option with default. */
+    /** String option with default; fatal() when repeated. */
     std::string get(const std::string &key,
                     const std::string &fallback = "") const;
 
-    /** Integer option with default; fatal() on malformed values. */
+    /**
+     * Every value bound to a repeatable option @p key, in
+     * command-line order (empty when absent).
+     */
+    std::vector<std::string> getStrings(const std::string &key) const;
+
+    /** Integer option with default; fatal() on malformed values or
+     *  when repeated. */
     int getInt(const std::string &key, int fallback) const;
 
-    /** Double option with default; fatal() on malformed values. */
+    /** Double option with default; fatal() on malformed values or
+     *  when repeated. */
     double getDouble(const std::string &key, double fallback) const;
+
+    /** getInt() plus a range check: fatal() unless lo <= v <= hi. */
+    int getIntIn(const std::string &key, int fallback, int lo,
+                 int hi) const;
+
+    /** getDouble() plus a range check: fatal() unless lo <= v <= hi.
+     *  Use an open lower bound via the smallest value you accept. */
+    double getDoubleIn(const std::string &key, double fallback,
+                       double lo, double hi) const;
 
     /** Non-option arguments in command-line order. */
     const std::vector<std::string> &positionals() const
@@ -52,7 +75,10 @@ class Args
     void rejectUnused() const;
 
   private:
-    std::map<std::string, std::string> values_;
+    /** The single value of @p key; fatal() when given twice. */
+    const std::string *single(const std::string &key) const;
+
+    std::map<std::string, std::vector<std::string>> values_;
     mutable std::map<std::string, bool> used_;
     std::vector<std::string> positionals_;
 };

@@ -92,6 +92,28 @@ Topology::addPeerLink(int gpu_a, int gpu_b, double capacity)
     return l.id;
 }
 
+void
+Topology::setLinkCapacity(int link, double capacity)
+{
+    if (link < 0 || link >= numLinks())
+        fatal("setLinkCapacity: no link %d (topology has %d)", link,
+              numLinks());
+    if (capacity <= 0.0)
+        fatal("setLinkCapacity: capacity must be > 0, got %g",
+              capacity);
+    links_[static_cast<std::size_t>(link)].capacity = capacity;
+}
+
+int
+Topology::findLinkByName(const std::string &name) const
+{
+    for (const Link &l : links_) {
+        if (l.name == name)
+            return l.id;
+    }
+    return -1;
+}
+
 int
 Topology::rootComplexOf(int gpu) const
 {

@@ -122,6 +122,17 @@ class Topology
     const Node &node(int id) const { return nodes_[id]; }
     const Link &link(int id) const { return links_[id]; }
 
+    /**
+     * Overwrite a link's per-direction capacity. This is the what-if
+     * perturbation hook: counterfactual re-simulation builds a copy
+     * of the server and rescales the links a virtual speedup names
+     * (obs/whatif.hh). fatal() on an unknown link or capacity <= 0.
+     */
+    void setLinkCapacity(int link, double capacity);
+
+    /** @return id of the link named @p name, or -1 when absent. */
+    int findLinkByName(const std::string &name) const;
+
     /** @return the tree node id of GPU @p gpu. */
     int gpuNode(int gpu) const { return gpuNodes_[gpu]; }
 

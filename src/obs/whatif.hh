@@ -1,0 +1,219 @@
+/**
+ * @file
+ * What-if sensitivity profiling: counterfactual ("virtual speedup")
+ * evaluation over the completed-span DAG.
+ *
+ * Critical-path attribution (obs/critical_path.hh) answers *where* a
+ * step's time went; this layer answers *what would change it*. A
+ * WhatIfSpec names a resource class — a PCIe link, a root complex's
+ * uplink, one GPU's compute, the CPU optimizer, or a whole trace
+ * category — and a virtual speedup factor. evaluateWhatIf() rescales
+ * the matching spans' intrinsic work and contention stretch, then
+ * re-schedules the DAG (dependencies + one-at-a-time engine
+ * occupancy, original per-engine order) and reports the predicted
+ * step time with error bars.
+ *
+ * Scheduling-model assumptions (stated in DESIGN.md §6):
+ *
+ *  - spans on one track serialise in their original order; cross-
+ *    engine fair-share coupling is carried by each span's recorded
+ *    contention stretch, not re-derived;
+ *  - a bandwidth speedup f on a *shared* pool (link / root complex)
+ *    scales a matching span's stretch by 1/f but cannot push its
+ *    intrinsic work below the private-bottleneck floor (PCIe links
+ *    are capacity-uniform, so the floor is the recorded work); a
+ *    slowdown (f < 1) makes the pool the route bottleneck and scales
+ *    work by 1/f as well; additionally, the sum of matched work
+ *    through each direction of a perturbed pool, divided by its
+ *    factor, is a hard lower bound on any counterfactual makespan
+ *    (pool saturation) — the re-schedule cannot invent contention a
+ *    slower pool creates between spans that did not overlap in the
+ *    baseline, so predictions are floored there;
+ *  - predictions are calibrated multiplicatively so the factor-1.0
+ *    re-schedule reproduces the measured step time exactly; the
+ *    error bar spans the "stretch scales with bandwidth" and
+ *    "stretch is invariant" variants, and the point estimate is
+ *    their midpoint (the truth lies between the two contention
+ *    hypotheses — overlap windows shift when rates change).
+ *
+ * Every prediction can be validated against ground truth: the
+ * simulator is cheap, so perturbServer() / RunPerturbation feed the
+ * same factors into a real re-simulation (mobius_sim --whatif-exact,
+ * bench_whatif) and the reported drift audits the model.
+ */
+
+#ifndef MOBIUS_OBS_WHATIF_HH
+#define MOBIUS_OBS_WHATIF_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/server.hh"
+#include "simcore/trace.hh"
+
+namespace mobius
+{
+
+/** Resource classes a virtual speedup can target. */
+enum class WhatIfKind
+{
+    Link,         //!< one interconnect link, by topology name
+    RootComplex,  //!< a root complex's DRAM uplink
+    GpuCompute,   //!< one GPU's kernel throughput
+    CpuOptimizer, //!< the CPU-side optimizer
+    Category,     //!< a whole trace category (compute/transfer/...)
+};
+
+/** One parsed virtual speedup: RESOURCE=FACTOR. */
+struct WhatIfSpec
+{
+    WhatIfKind kind = WhatIfKind::Category;
+    /** GPU index, root-complex ordinal, or link id (kind-typed). */
+    int index = -1;
+    /** The resource text as given, e.g. "rc0" or "link:dram<->rc1". */
+    std::string resource;
+    /** Rate multiplier: 2 = twice as fast, 0.5 = half speed (> 0). */
+    double factor = 1.0;
+};
+
+/**
+ * Parse "rcN=F", "gpuN=F", "cpu=F", "compute|transfer|optimizer=F",
+ * or "link:NAME=F" against @p server (so unknown GPUs, root
+ * complexes, and links are rejected). fatal() with a usage message
+ * on malformed input, unknown resources, or factor <= 0.
+ */
+WhatIfSpec parseWhatIfSpec(const std::string &text,
+                           const Server &server);
+
+/** A sensitivity sweep request: RESOURCE=LO:HI:STEPS. */
+struct WhatIfSweepSpec
+{
+    std::string resource; //!< resource text (parsed per point)
+    double lo = 0.0;      //!< first factor
+    double hi = 0.0;      //!< last factor
+    int steps = 0;        //!< number of points (>= 2), inclusive
+
+    /** @return the linearly spaced factor grid [lo, hi]. */
+    std::vector<double> factors() const;
+};
+
+/** Parse "RESOURCE=LO:HI:STEPS"; fatal() on malformed input. */
+WhatIfSweepSpec parseWhatIfSweepSpec(const std::string &text);
+
+/**
+ * Per-run engine-rate perturbation for ground-truth re-simulation:
+ * the factors that cannot be expressed as topology link capacities.
+ * RunContext applies them when constructing its engines.
+ */
+struct RunPerturbation
+{
+    /** Per-GPU compute speed factor; empty = all 1.0. */
+    std::vector<double> gpuComputeFactor;
+    /** CPU optimizer throughput multiplier. */
+    double cpuOptimizerFactor = 1.0;
+
+    /** @return the compute factor for GPU @p gpu (default 1.0). */
+    double
+    computeFactor(int gpu) const
+    {
+        if (gpu < 0 ||
+            gpu >= static_cast<int>(gpuComputeFactor.size()))
+            return 1.0;
+        return gpuComputeFactor[static_cast<std::size_t>(gpu)];
+    }
+
+    /** @return true when every factor is exactly 1.0. */
+    bool identity() const;
+};
+
+/**
+ * Build a copy of @p server with every link capacity a spec names
+ * rescaled (RootComplex scales the DRAM uplink; Category "transfer"
+ * scales every link). Compute/optimizer specs do not affect it.
+ */
+Server perturbServer(const Server &server,
+                     const std::vector<WhatIfSpec> &specs);
+
+/** Extract the engine-rate side of @p specs for @p num_gpus GPUs. */
+RunPerturbation runPerturbation(const std::vector<WhatIfSpec> &specs,
+                                int num_gpus);
+
+/** One counterfactual evaluation. */
+struct WhatIfResult
+{
+    std::vector<WhatIfSpec> specs; //!< the applied speedups
+    double baseStepTime = 0.0;  //!< measured trace makespan
+    double modelBase = 0.0;     //!< factor-free re-schedule makespan
+    double predicted = 0.0;     //!< calibrated prediction (seconds)
+    double predictedLow = 0.0;  //!< optimistic error-bar edge
+    double predictedHigh = 0.0; //!< pessimistic error-bar edge
+    /** Ground-truth re-simulated step time; < 0 = not validated. */
+    double exact = -1.0;
+    std::size_t matchedSpans = 0; //!< spans any spec rescaled
+
+    /** @return baseStepTime / predicted (0 when degenerate). */
+    double
+    speedup() const
+    {
+        return predicted > 0.0 ? baseStepTime / predicted : 0.0;
+    }
+
+    /** @return |predicted - exact| / exact, or -1 without exact. */
+    double
+    drift() const
+    {
+        if (exact <= 0.0)
+            return -1.0;
+        double d = predicted - exact;
+        return (d < 0 ? -d : d) / exact;
+    }
+};
+
+/**
+ * Apply @p specs virtually and re-schedule @p dag. @p server
+ * resolves which GPUs sit behind each named link or root complex.
+ * Robust to empty DAGs (all-zero result).
+ */
+WhatIfResult evaluateWhatIf(const SpanDag &dag, const Server &server,
+                            const std::vector<WhatIfSpec> &specs);
+
+/** Convenience overload: extracts the DAG from @p trace first. */
+WhatIfResult evaluateWhatIf(const TraceRecorder &trace,
+                            const Server &server,
+                            const std::vector<WhatIfSpec> &specs);
+
+/** A full sensitivity curve over one resource. */
+struct WhatIfSweep
+{
+    WhatIfSweepSpec spec;
+    std::vector<WhatIfResult> points; //!< one per factor, lo -> hi
+
+    /**
+     * Normalised sensitivity: (max - min predicted step time over
+     * the sweep) / step time at factor closest to 1. Steeper curves
+     * mean the schedule is more bandwidth- (or compute-) bound.
+     * Uses exact times when every point carries them.
+     */
+    double sensitivity() const;
+};
+
+/** Evaluate @p spec's whole factor grid against @p dag. */
+WhatIfSweep sweepWhatIf(const SpanDag &dag, const Server &server,
+                        const WhatIfSweepSpec &spec);
+
+/** Serialise one result as a JSON object (stable field names; see
+ *  EXPERIMENTS.md "What-if analysis"). */
+std::string whatIfResultJson(const WhatIfResult &r);
+
+/** Serialise a sweep (spec + points array + sensitivity). */
+std::string whatIfSweepJson(const WhatIfSweep &s);
+
+/** Render a sweep as an ASCII sensitivity curve, @p width columns. */
+std::string whatIfSweepAscii(const WhatIfSweep &s, int width = 56);
+
+/** Render results as the human-readable `--whatif` report table. */
+std::string whatIfReport(const std::vector<WhatIfResult> &results);
+
+} // namespace mobius
+
+#endif // MOBIUS_OBS_WHATIF_HH

@@ -68,6 +68,23 @@ planToJson(const MobiusPlan &plan)
     return os.str();
 }
 
+std::string
+manifestToJson(const RunManifest &m)
+{
+    std::ostringstream os;
+    os << "{\"model\":\"" << m.model << "\""
+       << ",\"topo\":\"" << m.topo << "\""
+       << ",\"system\":\"" << m.system << "\""
+       << ",\"partition\":\"" << m.partition << "\""
+       << ",\"mapping\":\"" << m.mapping << "\""
+       << ",\"microbatch_size\":" << m.microbatchSize
+       << ",\"num_microbatches\":" << m.numMicrobatches
+       << ",\"steps\":" << m.steps
+       << ",\"trace_file\":\"" << m.traceFile << "\""
+       << ",\"metrics_file\":\"" << m.metricsFile << "\"}";
+    return os.str();
+}
+
 FineTuneEstimate
 estimateFineTune(const Server &server, double step_seconds,
                  int steps)

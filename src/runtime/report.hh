@@ -22,6 +22,30 @@ std::string stepStatsToJson(const StepStats &stats,
 std::string planToJson(const MobiusPlan &plan);
 
 /**
+ * Identity of one simulated run: the configuration that produced a
+ * trace or metrics export. Embedded in `--json` output and in trace
+ * files (TraceRecorder::toChromeJson metadata) so offline tools can
+ * refuse to diff incompatible runs (tools/trace_diff compares
+ * model/topo/system and warns on the rest).
+ */
+struct RunManifest
+{
+    std::string model;     //!< model name, e.g. "gpt8b"
+    std::string topo;      //!< topology groups, e.g. "2+2"
+    std::string system;    //!< "mobius" | "zero" | ...
+    std::string partition; //!< partition algorithm
+    std::string mapping;   //!< mapping algorithm
+    int microbatchSize = 0;    //!< samples per microbatch
+    int numMicrobatches = 0;   //!< microbatches per step
+    int steps = 1;             //!< simulated steps
+    std::string traceFile;     //!< --trace path ("" = none)
+    std::string metricsFile;   //!< --metrics path ("" = none)
+};
+
+/** Serialise @p m as a JSON object with stable field names. */
+std::string manifestToJson(const RunManifest &m);
+
+/**
  * Fine-tuning cost estimate: wall-clock and dollars for @p steps
  * training steps at @p step_seconds per step on @p server.
  */

@@ -20,6 +20,7 @@
 #include "hw/server.hh"
 #include "obs/critical_path.hh"
 #include "obs/metrics.hh"
+#include "obs/whatif.hh"
 #include "runtime/cpu_optimizer.hh"
 #include "runtime/gpu_memory.hh"
 #include "runtime/step_stats.hh"
@@ -37,21 +38,30 @@ class RunContext
      * Wire up queue, engines, memory pools, and telemetry for
      * @p server. When @p metrics is non-null and enabled, every
      * engine registers its counters there at construction.
+     * @p perturb carries the engine-rate side of a what-if
+     * counterfactual (obs/whatif.hh): per-GPU compute speed factors
+     * and a CPU optimizer throughput multiplier; the default is the
+     * identity (a faithful run).
      */
     explicit RunContext(const Server &server,
                         TransferEngineConfig xfer_cfg = {},
                         double cpu_adam_throughput = 0.0,
-                        MetricsRegistry *metrics = nullptr)
+                        MetricsRegistry *metrics = nullptr,
+                        RunPerturbation perturb = {})
         : server_(&server),
           metrics_(metrics),
           usage_(queue_, server.topo.numGpus()),
           xfer_(queue_, server.topo, &usage_, xfer_cfg, &trace_,
                 metrics),
-          cpuOptimizer_(queue_, cpu_adam_throughput, &trace_)
+          cpuOptimizer_(queue_,
+                        cpu_adam_throughput *
+                            perturb.cpuOptimizerFactor,
+                        &trace_)
     {
         for (int g = 0; g < server.topo.numGpus(); ++g) {
             compute_.push_back(std::make_unique<ComputeEngine>(
-                queue_, &usage_, g, &trace_, metrics));
+                queue_, &usage_, g, &trace_, metrics,
+                perturb.computeFactor(g)));
             memory_.push_back(std::make_unique<GpuMemory>(
                 server.topo.gpuSpec(g).memBytes));
         }

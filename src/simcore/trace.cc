@@ -169,7 +169,7 @@ jsonEscape(const std::string &s)
 } // namespace
 
 std::string
-TraceRecorder::toChromeJson() const
+TraceRecorder::toChromeJson(const std::string &metadata_json) const
 {
     // Stable process id 1; one thread id per track (name order).
     std::map<std::uint32_t, int> tids;
@@ -189,7 +189,10 @@ TraceRecorder::toChromeJson() const
     }
 
     std::ostringstream os;
-    os << "{\"traceEvents\":[";
+    os << "{";
+    if (!metadata_json.empty())
+        os << "\"metadata\":" << metadata_json << ",";
+    os << "\"traceEvents\":[";
     bool first = true;
     for (const auto &[track, tid] : tids) {
         if (!first)
@@ -208,7 +211,19 @@ TraceRecorder::toChromeJson() const
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
            << tids.at(rec.track) << ",\"ts\":" << rec.start * 1e6
            << ",\"dur\":" << (rec.end - rec.start) * 1e6
-           << ",\"args\":{\"id\":" << rec.id << "}}";
+           << ",\"args\":{\"id\":" << rec.id
+           << ",\"gpu\":" << rec.gpu << ",\"stage\":" << rec.stage;
+        // Causal fields in seconds, derived exactly as the TraceSpan
+        // accessors do, so trace_diff reproduces attribution sums.
+        double dur = rec.end - rec.start;
+        double ready = rec.queuedAt < 0.0 || rec.queuedAt > rec.start
+            ? rec.start
+            : rec.queuedAt;
+        double work_s = rec.work < 0.0 || rec.work > dur ? dur
+                                                         : rec.work;
+        os << ",\"queueWait\":" << rec.start - ready
+           << ",\"stretch\":" << dur - work_s
+           << ",\"work\":" << work_s << "}}";
     }
     // One flow-event pair per dependency edge: "s" anchored at the
     // producing span's end, "f" (binding "e" = enclosing slice) at
@@ -247,6 +262,54 @@ TraceRecorder::toChromeJson() const
     }
     os << "]}";
     return os.str();
+}
+
+double
+SpanDag::stepTime() const
+{
+    double t = 0.0;
+    for (const auto &s : spans)
+        t = std::max(t, s.end);
+    return t;
+}
+
+SpanDag
+buildSpanDag(const TraceRecorder &trace)
+{
+    SpanDag dag;
+    dag.spans = trace.spans();
+    // (start, end, id) order is topological: a dependency finishes
+    // no later than its dependent starts, so it sorts first.
+    std::sort(dag.spans.begin(), dag.spans.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  if (a.end != b.end)
+                      return a.end < b.end;
+                  return a.id < b.id;
+              });
+    dag.index.reserve(dag.spans.size());
+    for (std::size_t i = 0; i < dag.spans.size(); ++i)
+        dag.index.emplace(dag.spans[i].id, i);
+
+    std::unordered_map<std::string, std::size_t> engines;
+    dag.preds.resize(dag.spans.size());
+    dag.engine.resize(dag.spans.size());
+    for (std::size_t i = 0; i < dag.spans.size(); ++i) {
+        const TraceSpan &s = dag.spans[i];
+        auto [it, fresh] =
+            engines.emplace(s.track, dag.engineNames.size());
+        if (fresh)
+            dag.engineNames.push_back(s.track);
+        dag.engine[i] = it->second;
+        dag.preds[i].reserve(s.deps.size());
+        for (SpanId d : s.deps) {
+            auto di = dag.index.find(d);
+            if (di != dag.index.end())
+                dag.preds[i].push_back(di->second);
+        }
+    }
+    return dag;
 }
 
 std::string

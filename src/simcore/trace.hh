@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "simcore/event_queue.hh"
@@ -179,9 +180,18 @@ class TraceRecorder
      * Serialise as Chrome tracing JSON: a "traceEvents" array of
      * complete events ("ph":"X"), counter events ("ph":"C"), and one
      * flow-event pair ("ph":"s"/"f") per dependency edge so Perfetto
-     * draws the causal arrows. Microsecond timestamps.
+     * draws the causal arrows. Microsecond timestamps. Each span's
+     * "args" carries its causal fields (id, gpu, stage, queueWait,
+     * stretch, work — the latter three in seconds) so offline tools
+     * (tools/trace_diff) can diff contention without the recorder.
+     *
+     * @param metadata_json optional JSON object emitted verbatim as
+     *        a top-level "metadata" member (e.g. the run manifest);
+     *        Perfetto ignores it, trace_diff uses it to refuse
+     *        comparisons across incompatible runs.
      */
-    std::string toChromeJson() const;
+    std::string
+    toChromeJson(const std::string &metadata_json = "") const;
 
     /**
      * Render an ASCII Gantt chart, one row per track, @p width
@@ -216,6 +226,40 @@ class TraceRecorder
     std::map<std::string, std::uint32_t> internIndex_;
     SpanId nextId_ = 1;
 };
+
+/**
+ * A completed-span DAG in schedulable form: spans topologically
+ * ordered by (start, end, id) — a valid order because a dependency
+ * always ends no later than its dependent starts — with dependency
+ * edges resolved to indices and each span bound to its serial engine
+ * (its track: one compute stream, copy engine, or optimizer thread).
+ * This is the substrate counterfactual evaluators (obs/whatif.hh)
+ * re-schedule.
+ */
+struct SpanDag
+{
+    /** Spans in topological (start-time) order. */
+    std::vector<TraceSpan> spans;
+
+    /** preds[i] = indices of spans[i]'s resolved dependencies. */
+    std::vector<std::vector<std::size_t>> preds;
+
+    /** engine[i] = dense id of the serial resource spans[i] ran on. */
+    std::vector<std::size_t> engine;
+
+    /** Track name per dense engine id. */
+    std::vector<std::string> engineNames;
+
+    /** Position of a span id within spans (dropped deps resolve to
+     *  nothing and are absent from preds). */
+    std::unordered_map<SpanId, std::size_t> index;
+
+    /** @return max span end — the traced step's makespan. */
+    double stepTime() const;
+};
+
+/** Extract the schedulable DAG from @p trace's recorded spans. */
+SpanDag buildSpanDag(const TraceRecorder &trace);
 
 } // namespace mobius
 

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "base/logging.hh"
 #include "obs/metrics.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/trace.hh"
@@ -24,12 +25,23 @@ namespace mobius
 class ComputeEngine
 {
   public:
-    /** An idle engine for GPU @p gpu with optional telemetry sinks. */
+    /**
+     * An idle engine for GPU @p gpu with optional telemetry sinks.
+     * @p speed_factor is the what-if perturbation hook: every
+     * submitted kernel runs for duration / speed_factor seconds, so
+     * a counterfactual "this GPU computes k× faster" re-simulation
+     * (obs/whatif.hh) reuses the executor's cost model unchanged.
+     */
     ComputeEngine(EventQueue &queue, UsageTracker *usage, int gpu,
                   TraceRecorder *trace = nullptr,
-                  MetricsRegistry *metrics = nullptr)
-        : queue_(queue), usage_(usage), gpu_(gpu), trace_(trace)
+                  MetricsRegistry *metrics = nullptr,
+                  double speed_factor = 1.0)
+        : queue_(queue), usage_(usage), gpu_(gpu), trace_(trace),
+          speedFactor_(speed_factor)
     {
+        if (!(speedFactor_ > 0.0))
+            panic("compute speed factor must be > 0, got %g",
+                  speedFactor_);
         if (metrics && metrics->enabled()) {
             mKernels_ = &metrics->counter(
                 "gpu" + std::to_string(gpu) + ".kernels");
@@ -52,7 +64,8 @@ class ComputeEngine
            std::string label = "", std::vector<SpanId> deps = {},
            int stage = -1)
     {
-        tasks_.push_back(Task{duration, std::move(on_complete),
+        tasks_.push_back(Task{duration / speedFactor_,
+                              std::move(on_complete),
                               std::move(label), std::move(deps),
                               stage, queue_.now()});
         if (!busy_)
@@ -138,6 +151,7 @@ class ComputeEngine
     UsageTracker *usage_;
     int gpu_;
     TraceRecorder *trace_;
+    double speedFactor_ = 1.0;
     Counter *mKernels_ = nullptr;
     Histogram *mKernelSeconds_ = nullptr;
     bool busy_ = false;

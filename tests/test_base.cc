@@ -1,12 +1,14 @@
 /**
  * @file
- * Unit tests for base utilities: logging, unit formatting, RNG.
+ * Unit tests for base utilities: logging, unit formatting, RNG, and
+ * the JSON reader the analysis tools parse simulator output with.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/units.hh"
@@ -127,6 +129,57 @@ TEST(Rng, GaussianMomentsRoughlyStandard)
     }
     EXPECT_NEAR(sum / n, 0.0, 0.03);
     EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Json, ParsesScalarsObjectsAndArrays)
+{
+    json::JsonValue v = json::parse(
+        " {\"a\": 1.5, \"b\": [1, 2, 3], \"c\": {\"d\": true}, "
+        "\"e\": null, \"f\": -2e3} ");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.at("a").number, 1.5);
+    ASSERT_TRUE(v.at("b").isArray());
+    ASSERT_EQ(v.at("b").array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("b")[2].number, 3.0);
+    EXPECT_TRUE(v.at("c").at("d").boolean);
+    EXPECT_TRUE(v.at("e").isNull());
+    EXPECT_DOUBLE_EQ(v.at("f").number, -2000.0);
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_FALSE(v.has("z"));
+    EXPECT_EQ(v.find("z"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("a", -1.0), 1.5);
+    EXPECT_DOUBLE_EQ(v.numberOr("z", -1.0), -1.0);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    std::string raw = "a\"b\\c\n\t<->";
+    json::JsonValue v =
+        json::parse("{\"s\": \"" + json::escape(raw) + "\"}");
+    EXPECT_EQ(v.at("s").string, raw);
+    EXPECT_EQ(v.stringOr("s", ""), raw);
+    EXPECT_EQ(v.stringOr("t", "dflt"), "dflt");
+    // \uXXXX decodes as UTF-8.
+    EXPECT_EQ(json::parse("\"\\u0041\"").string, "A");
+}
+
+TEST(Json, MalformedInputThrowsJsonError)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+          "\"unterminated", "{\"a\":1} trailing", "[1 2]",
+          "{'a':1}"}) {
+        EXPECT_THROW(json::parse(bad), json::JsonError)
+            << "accepted '" << bad << "'";
+    }
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch)
+{
+    json::JsonValue v = json::parse("{\"a\": [0]}");
+    EXPECT_THROW(v.at("missing"), json::JsonError);
+    EXPECT_THROW(v.at("a").at("x"), json::JsonError);
+    EXPECT_THROW(v.at("a")[5], json::JsonError);
 }
 
 } // namespace

@@ -417,5 +417,56 @@ TEST(EndToEnd, DisabledRegistryStaysEmpty)
     EXPECT_EQ(reg.size(), 0u);
 }
 
+TEST(SamplerEdge, NonPositiveIntervalIsAPanic)
+{
+    EventQueue queue;
+    MetricsRegistry reg;
+    EXPECT_DEATH(MetricsSampler(queue, reg, nullptr, 0.0),
+                 "interval");
+    EXPECT_DEATH(MetricsSampler(queue, reg, nullptr, -0.5),
+                 "interval");
+}
+
+TEST(SamplerEdge, EmptyRegistryStillTicksAndTerminates)
+{
+    // No metrics to snapshot: the sampler must still follow the
+    // queue's lifetime and stop when the simulation drains.
+    EventQueue queue;
+    MetricsRegistry reg;
+    queue.scheduleAfter(0.05, [] {});
+    MetricsSampler sampler(queue, reg, nullptr, 0.01);
+    sampler.start();
+    queue.run();
+    EXPECT_GE(sampler.ticks(), 5u);
+    EXPECT_TRUE(sampler.samples().empty());
+}
+
+TEST(SamplerEdge, LateRegisteredMetricsAppearInLaterSamples)
+{
+    EventQueue queue;
+    MetricsRegistry reg;
+    queue.scheduleAfter(0.025,
+                        [&] { reg.gauge("late").set(7.0); });
+    queue.scheduleAfter(0.06, [] {});
+    MetricsSampler sampler(queue, reg, nullptr, 0.01);
+    sampler.start();
+    queue.run();
+    // Samples before 0.025 do not know the gauge; samples after
+    // must carry it with the registered value.
+    bool before = false, after = false;
+    for (const MetricSample &s : sampler.samples()) {
+        if (s.name != "late")
+            continue;
+        if (s.time < 0.025)
+            before = true;
+        else {
+            after = true;
+            EXPECT_DOUBLE_EQ(s.value, 7.0);
+        }
+    }
+    EXPECT_FALSE(before);
+    EXPECT_TRUE(after);
+}
+
 } // namespace
 } // namespace mobius

@@ -60,6 +60,75 @@ TEST(Args, UnusedDetection)
     EXPECT_NO_THROW(args.rejectUnused());
 }
 
+TEST(Args, DuplicateSingleValueOptionIsFatal)
+{
+    Args args = makeArgs({"--model", "8b", "--model", "15b"});
+    EXPECT_THROW(args.get("model", ""), FatalError);
+    Args args2 = makeArgs({"--n", "1", "--n", "2"});
+    EXPECT_THROW(args2.getInt("n", 0), FatalError);
+    Args args3 = makeArgs({"--x", "1.0", "--x=2.0"});
+    EXPECT_THROW(args3.getDouble("x", 0.0), FatalError);
+}
+
+TEST(Args, GetStringsCollectsRepeatsInOrder)
+{
+    Args args = makeArgs(
+        {"--whatif", "rc0=2", "--other", "1", "--whatif=gpu1=0.5"});
+    auto vals = args.getStrings("whatif");
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0], "rc0=2");
+    EXPECT_EQ(vals[1], "gpu1=0.5");
+    EXPECT_TRUE(args.getStrings("absent").empty());
+    // getStrings consumes the key for rejectUnused purposes.
+    EXPECT_EQ(args.getInt("other", 0), 1);
+    EXPECT_NO_THROW(args.rejectUnused());
+}
+
+TEST(Args, RangeCheckedAccessorsAreFatalOutOfRange)
+{
+    Args args = makeArgs({"--top", "0", "--interval", "-0.5"});
+    EXPECT_THROW(args.getIntIn("top", 1, 1, 100), FatalError);
+    EXPECT_THROW(args.getDoubleIn("interval", 0.01, 1e-9, 1e9),
+                 FatalError);
+    Args ok = makeArgs({"--top", "7", "--interval", "0.25"});
+    EXPECT_EQ(ok.getIntIn("top", 1, 1, 100), 7);
+    EXPECT_DOUBLE_EQ(
+        ok.getDoubleIn("interval", 0.01, 1e-9, 1e9), 0.25);
+    // Range boundaries are inclusive.
+    Args edge = makeArgs({"--top", "100"});
+    EXPECT_EQ(edge.getIntIn("top", 1, 1, 100), 100);
+}
+
+TEST(Report, ManifestJsonHasStableFields)
+{
+    RunManifest m;
+    m.model = "gpt8b";
+    m.topo = "2+2";
+    m.system = "mobius";
+    m.partition = "heuristic";
+    m.mapping = "cross";
+    m.microbatchSize = 2;
+    m.numMicrobatches = 8;
+    m.steps = 3;
+    m.traceFile = "out.json";
+    std::string json = manifestToJson(m);
+    EXPECT_NE(json.find("\"model\":\"gpt8b\""), std::string::npos);
+    EXPECT_NE(json.find("\"topo\":\"2+2\""), std::string::npos);
+    EXPECT_NE(json.find("\"system\":\"mobius\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"partition\":\"heuristic\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mapping\":\"cross\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"microbatch_size\":2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"num_microbatches\":8"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"steps\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"trace_file\":\"out.json\""),
+              std::string::npos);
+}
+
 TEST(Report, StepStatsJsonFields)
 {
     StepStats stats;

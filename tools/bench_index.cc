@@ -1,0 +1,147 @@
+/**
+ * @file
+ * bench_index — aggregate every BENCH_*.json benchmark report in a
+ * directory into one BENCH_index.json with per-bench headline
+ * numbers.
+ *
+ *     bench_index                 # scan ., write ./BENCH_index.json
+ *     bench_index --dir out --out out/BENCH_index.json
+ *
+ * Each bench binary (bench/) writes a BENCH_<name>.json whose
+ * top-level scalar members are its headline numbers (step times,
+ * speedups, sensitivities); nested arrays/objects hold the detail.
+ * This tool collects exactly those scalars, so the index stays small
+ * and diffable run-to-run. The index file itself is excluded from
+ * the scan.
+ *
+ * Options:
+ *   --dir PATH   directory to scan (default ".")
+ *   --out FILE   index file to write (default DIR/BENCH_index.json)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/args.hh"
+#include "base/json.hh"
+#include "base/logging.hh"
+
+using namespace mobius;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.string().c_str());
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** @return the top-level scalar members of @p doc, re-serialised. */
+std::string
+headlines(const json::JsonValue &doc)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{";
+    bool first = true;
+    for (const auto &[key, value] : doc.members) {
+        std::string rendered;
+        if (value.isNumber()) {
+            std::ostringstream n;
+            n.precision(17);
+            n << value.number;
+            rendered = n.str();
+        } else if (value.isString()) {
+            rendered = "\"" + json::escape(value.string) + "\"";
+        } else if (value.isBool()) {
+            rendered = value.boolean ? "true" : "false";
+        } else {
+            continue; // arrays/objects are detail, not headlines
+        }
+        os << (first ? "" : ",") << "\"" << json::escape(key)
+           << "\":" << rendered;
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args(argc, argv);
+        std::string dir = args.get("dir", ".");
+        std::string out =
+            args.get("out", (fs::path(dir) / "BENCH_index.json")
+                                .string());
+        args.rejectUnused();
+
+        if (!fs::is_directory(dir))
+            fatal("--dir '%s' is not a directory", dir.c_str());
+
+        std::vector<fs::path> files;
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            std::string name = entry.path().filename().string();
+            if (name.rfind("BENCH_", 0) != 0 ||
+                name.size() < 5 ||
+                name.compare(name.size() - 5, 5, ".json") != 0)
+                continue;
+            if (name == "BENCH_index.json")
+                continue;
+            files.push_back(entry.path());
+        }
+        std::sort(files.begin(), files.end());
+
+        std::ostringstream os;
+        os << "{\"benches\":{";
+        std::size_t indexed = 0;
+        for (const fs::path &p : files) {
+            json::JsonValue doc;
+            try {
+                doc = json::parse(readFile(p));
+            } catch (const json::JsonError &e) {
+                warn("skipping '%s': %s", p.string().c_str(),
+                     e.what());
+                continue;
+            }
+            if (!doc.isObject()) {
+                warn("skipping '%s': top level is not an object",
+                     p.string().c_str());
+                continue;
+            }
+            os << (indexed ? "," : "") << "\""
+               << json::escape(p.filename().string())
+               << "\":" << headlines(doc);
+            ++indexed;
+        }
+        os << "},\"count\":" << indexed << "}";
+
+        std::ofstream of(out);
+        of << os.str() << "\n";
+        if (!of)
+            fatal("cannot write '%s'", out.c_str());
+        std::printf("indexed %zu bench report%s -> %s\n", indexed,
+                    indexed == 1 ? "" : "s", out.c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -6,7 +6,8 @@
  *     mobius_sim --model 8b --topo 4+4 --system deepspeed --json
  *     mobius_sim --model 15b --system mobius --mapping seq \
  *                --partition min --mbs 2 --trace out.json
- *     mobius_sim --model 8b --dc --system deepspeed
+ *     mobius_sim --model 8b --whatif rc0=2 --whatif-exact
+ *     mobius_sim --model 8b --whatif-sweep rc0=0.5:2:7 --json
  *     mobius_sim --model custom --hidden 6144 --blocks 48 ...
  *
  * Options:
@@ -29,20 +30,38 @@
  *   --mapping cross|seq            (default cross)
  *   --cpu-adam PARAMS_PER_SEC      CPU optimizer model (default off)
  *   --steps N                      fine-tuning length estimate
- *   --json                         machine-readable output
+ *   --json                         machine-readable output (includes
+ *                                  a "manifest" object identifying
+ *                                  the run for tools/trace_diff)
  *   --trace FILE                   write Chrome tracing JSON
- *                                  (spans + live counter tracks)
+ *                                  (spans + live counter tracks +
+ *                                  the run manifest as metadata)
  *   --metrics FILE                 write the metrics registry as
  *                                  JSON; a sibling .csv is written
  *                                  next to it
  *   --metrics-interval SEC         counter sampling period in
- *                                  simulated seconds (default 0.01)
+ *                                  simulated seconds (default 0.01,
+ *                                  must be > 0)
  *   --gantt                        print the ASCII schedule
  *   --explain                      print the critical-path blame
  *                                  table (where the step's time went)
  *   --explain-json                 same, as JSON on stdout (embedded
  *                                  under "attribution" with --json)
- *   --explain-top K                path entries in reports (def. 10)
+ *   --explain-top K                path entries in reports (def. 10,
+ *                                  must be >= 1)
+ *   --whatif RESOURCE=FACTOR       counterfactual speedup over the
+ *                                  completed-span DAG (obs/whatif.hh);
+ *                                  repeatable, all specs combine into
+ *                                  one scenario. Resources: rcN,
+ *                                  gpuN, cpu, compute, transfer,
+ *                                  optimizer, link:NAME
+ *   --whatif-sweep RES=LO:HI:N     sensitivity curve over N factors
+ *                                  in [LO, HI] (ASCII, or JSON under
+ *                                  "whatif_sweep" with --json)
+ *   --whatif-exact                 validate every what-if prediction
+ *                                  by re-simulating with the
+ *                                  perturbed server and report the
+ *                                  drift
  */
 
 #include <cstdio>
@@ -52,6 +71,7 @@
 #include "base/args.hh"
 #include "obs/critical_path.hh"
 #include "obs/metrics.hh"
+#include "obs/whatif.hh"
 #include "runtime/report.hh"
 #include "obs/sampler.hh"
 
@@ -131,6 +151,112 @@ printPhaseTable(RunContext &ctx, const MetricsRegistry &reg,
     }
 }
 
+/**
+ * One simulated step's fixed configuration, shared by the baseline
+ * run and every what-if ground-truth re-run (which must execute the
+ * SAME schedule on perturbed hardware to isolate the counterfactual).
+ */
+struct StepSetup
+{
+    const Workload *work = nullptr;
+    std::string system;
+    PlanOptions popts;
+    /** When set, Mobius skips planning and executes this plan (the
+     *  baseline plan is held fixed across what-if re-runs). */
+    const MobiusPlan *plan = nullptr;
+};
+
+/**
+ * Run one step of @p setup.system on @p ctx. For Mobius, the plan
+ * comes from setup.plan when present; otherwise planMobius() runs
+ * and, when @p plan_out is non-null, the result is stored there.
+ */
+StepStats
+runStep(RunContext &ctx, const StepSetup &setup,
+        std::unique_ptr<MobiusPlan> *plan_out)
+{
+    const Workload &work = *setup.work;
+    if (setup.system == "mobius") {
+        const MobiusPlan *plan = setup.plan;
+        std::unique_ptr<MobiusPlan> owned;
+        if (!plan) {
+            owned = std::make_unique<MobiusPlan>(planMobius(
+                ctx.server(), work.cost(), setup.popts));
+            plan = owned.get();
+            if (MetricsRegistry *m = ctx.activeMetrics()) {
+                m->gauge("plan.profiling_seconds")
+                    .set(plan->profilingSeconds);
+                m->gauge("plan.solve_seconds")
+                    .set(plan->solveSeconds);
+                m->gauge("plan.mapping_seconds")
+                    .set(plan->mappingSeconds);
+                m->gauge("plan.stages").set(plan->stageCount());
+            }
+        }
+        MobiusExecutor exec(ctx, work.cost(), plan->partition,
+                            plan->mapping);
+        StepStats stats = exec.run();
+        if (owned && plan_out)
+            *plan_out = std::move(owned);
+        return stats;
+    }
+    if (setup.system == "deepspeed") {
+        ZeroHeteroExecutor exec(ctx, work.cost());
+        return exec.run();
+    }
+    if (setup.system == "gpipe" || setup.system == "dspipe") {
+        Partition p = balancedComputePartition(
+            work.cost(), ctx.server().topo.numGpus());
+        Mapping m = sequentialMapping(ctx.server().topo,
+                                      ctx.server().topo.numGpus());
+        PipelineExecutor exec(ctx, work.cost(), p, m,
+                              setup.system == "gpipe"
+                                  ? PipelineSchedule::GPipe
+                                  : PipelineSchedule::OneFOneB);
+        return exec.run();
+    }
+    if (setup.system == "tp") {
+        TensorParallelExecutor exec(ctx, work.cost());
+        return exec.run();
+    }
+    fatal("unknown --system '%s'", setup.system.c_str());
+}
+
+/**
+ * Ground truth for one what-if scenario: re-simulate the step on a
+ * copy of @p server with the specs' link capacities rescaled and the
+ * engine-rate factors applied, holding the schedule (plan) fixed.
+ * @return the re-simulated step time.
+ */
+double
+exactStepTime(const Server &server, const StepSetup &setup,
+              double cpu_adam, const std::vector<WhatIfSpec> &specs)
+{
+    Server perturbed = perturbServer(server, specs);
+    RunPerturbation rp =
+        runPerturbation(specs, server.topo.numGpus());
+    StepSetup s = setup;
+    s.popts.metrics = nullptr; // keep the main registry pristine
+    RunContext ctx(perturbed, {}, cpu_adam, nullptr, rp);
+    return runStep(ctx, s, nullptr).stepTime;
+}
+
+/** Record one what-if result into the metrics registry. */
+void
+recordWhatIfMetrics(MetricsRegistry &reg, const WhatIfResult &r)
+{
+    reg.gauge("whatif.base.seconds").set(r.baseStepTime);
+    reg.gauge("whatif.predicted.seconds").set(r.predicted);
+    reg.gauge("whatif.predicted.low_seconds").set(r.predictedLow);
+    reg.gauge("whatif.predicted.high_seconds").set(r.predictedHigh);
+    reg.gauge("whatif.matched.spans")
+        .set(static_cast<double>(r.matchedSpans));
+    if (r.exact > 0.0) {
+        reg.gauge("whatif.exact.seconds").set(r.exact);
+        reg.gauge("whatif.drift.fraction").set(r.drift());
+    }
+}
+
 } // namespace
 
 int
@@ -140,10 +266,11 @@ main(int argc, char **argv)
         Args args(argc, argv);
 
         GptConfig model = pickModel(args);
-        Server server = args.has("dc")
+        bool dc = args.has("dc");
+        std::string topo = args.get("topo", "2+2");
+        Server server = dc
             ? makeDataCenterServer(4)
-            : makeCommodityServer(
-                  parseTopoGroups(args.get("topo", "2+2")));
+            : makeCommodityServer(parseTopoGroups(topo));
         Workload work(model, server, args.getInt("mbs", -1),
                       args.getInt("microbatches", -1));
 
@@ -152,82 +279,114 @@ main(int argc, char **argv)
         bool json = args.has("json");
         std::string trace_file = args.get("trace", "");
         std::string metrics_file = args.get("metrics", "");
-        double metrics_interval =
-            args.getDouble("metrics-interval", 0.01);
+        double metrics_interval = args.getDoubleIn(
+            "metrics-interval", 0.01, 1e-9, 1e9);
         bool gantt = args.has("gantt");
         bool explain = args.has("explain");
         bool explain_json = args.has("explain-json");
-        int explain_top = args.getInt("explain-top", 10);
-        int steps = args.getInt("steps", 0);
+        int explain_top =
+            args.getIntIn("explain-top", 10, 1, 1000000);
+        int steps = args.getIntIn("steps", 0, 0, 1000000000);
 
-        PlanOptions popts;
+        StepSetup setup;
+        setup.work = &work;
+        setup.system = system;
         std::string part = args.get("partition", "mip");
-        popts.partition = part == "mip" ? PartitionAlgo::Mip
-            : part == "exact"           ? PartitionAlgo::ExactMip
-            : part == "min"             ? PartitionAlgo::MinStage
-            : part == "max"             ? PartitionAlgo::MaxStage
+        setup.popts.partition = part == "mip" ? PartitionAlgo::Mip
+            : part == "exact" ? PartitionAlgo::ExactMip
+            : part == "min"   ? PartitionAlgo::MinStage
+            : part == "max"   ? PartitionAlgo::MaxStage
             : (fatal("unknown --partition '%s'", part.c_str()),
                PartitionAlgo::Mip);
-        popts.mip.maxNodes = static_cast<std::uint64_t>(
+        setup.popts.mip.maxNodes = static_cast<std::uint64_t>(
             args.getInt("mip-max-nodes", 200000));
-        popts.mip.timeLimitSeconds =
+        setup.popts.mip.timeLimitSeconds =
             args.getDouble("mip-time-limit", 0.0);
-        popts.mip.threads = args.getInt("mip-threads", 1);
+        setup.popts.mip.threads = args.getInt("mip-threads", 1);
         std::string mapping = args.get("mapping", "cross");
-        popts.mapping = mapping == "cross" ? MappingAlgo::Cross
+        setup.popts.mapping = mapping == "cross"
+            ? MappingAlgo::Cross
             : mapping == "seq" ? MappingAlgo::Sequential
             : (fatal("unknown --mapping '%s'", mapping.c_str()),
                MappingAlgo::Cross);
+
+        // What-if flags: every --whatif occurrence adds one spec to
+        // a single combined scenario; --whatif-sweep traces a curve
+        // over one resource. Parsed against the server so unknown
+        // resources fail before the (possibly long) simulation.
+        std::vector<WhatIfSpec> whatif_specs;
+        for (const std::string &s : args.getStrings("whatif"))
+            whatif_specs.push_back(parseWhatIfSpec(s, server));
+        bool have_sweep = args.has("whatif-sweep");
+        WhatIfSweepSpec sweep_spec;
+        if (have_sweep) {
+            sweep_spec =
+                parseWhatIfSweepSpec(args.get("whatif-sweep"));
+            parseWhatIfSpec(strfmt("%s=%.17g",
+                                   sweep_spec.resource.c_str(),
+                                   sweep_spec.lo),
+                            server);
+        }
+        bool whatif_exact = args.has("whatif-exact");
+        if (whatif_exact && whatif_specs.empty() && !have_sweep)
+            fatal("--whatif-exact requires --whatif or "
+                  "--whatif-sweep");
         args.rejectUnused();
 
-        StepStats stats;
-        std::string plan_json;
+        RunManifest manifest;
+        manifest.model = model.name;
+        manifest.topo = dc ? "dc" : topo;
+        manifest.system = system;
+        manifest.partition = part;
+        manifest.mapping = mapping;
+        manifest.microbatchSize = work.train().microbatchSize;
+        manifest.numMicrobatches = work.train().numMicrobatches;
+        manifest.steps = 1;
+        manifest.traceFile = trace_file;
+        manifest.metricsFile = metrics_file;
+
         MetricsRegistry registry;
+        setup.popts.metrics = &registry; // plan.mip.* / solver.lp.*
         RunContext ctx(server, {}, cpu_adam, &registry);
         // Sample counters onto the trace/CSV timeline while the
         // simulation runs. Started before the executor, so the first
         // tick is already queued when events begin.
         std::unique_ptr<MetricsSampler> sampler;
-        if ((!trace_file.empty() || !metrics_file.empty()) &&
-            metrics_interval > 0) {
+        if (!trace_file.empty() || !metrics_file.empty()) {
             sampler = std::make_unique<MetricsSampler>(
                 ctx.queue(), registry,
                 trace_file.empty() ? nullptr : &ctx.trace(),
                 metrics_interval);
             sampler->start();
         }
-        if (system == "mobius") {
-            popts.metrics = &registry; // plan.mip.* / solver.lp.*
-            MobiusPlan plan = planMobius(server, work.cost(), popts);
-            plan_json = planToJson(plan);
-            registry.gauge("plan.profiling_seconds")
-                .set(plan.profilingSeconds);
-            registry.gauge("plan.solve_seconds")
-                .set(plan.solveSeconds);
-            registry.gauge("plan.mapping_seconds")
-                .set(plan.mappingSeconds);
-            registry.gauge("plan.stages").set(plan.stageCount());
-            MobiusExecutor exec(ctx, work.cost(), plan.partition,
-                                plan.mapping);
-            stats = exec.run();
-        } else if (system == "deepspeed") {
-            ZeroHeteroExecutor exec(ctx, work.cost());
-            stats = exec.run();
-        } else if (system == "gpipe" || system == "dspipe") {
-            Partition p = balancedComputePartition(
-                work.cost(), server.topo.numGpus());
-            Mapping m = sequentialMapping(server.topo,
-                                          server.topo.numGpus());
-            PipelineExecutor exec(ctx, work.cost(), p, m,
-                                  system == "gpipe"
-                                      ? PipelineSchedule::GPipe
-                                      : PipelineSchedule::OneFOneB);
-            stats = exec.run();
-        } else if (system == "tp") {
-            TensorParallelExecutor exec(ctx, work.cost());
-            stats = exec.run();
-        } else {
-            fatal("unknown --system '%s'", system.c_str());
+        std::unique_ptr<MobiusPlan> plan;
+        StepStats stats = runStep(ctx, setup, &plan);
+        std::string plan_json = plan ? planToJson(*plan) : "";
+        // What-if re-runs execute the baseline plan on perturbed
+        // hardware; re-planning would mix two counterfactuals.
+        setup.plan = plan.get();
+
+        std::vector<WhatIfResult> whatif_results;
+        if (!whatif_specs.empty()) {
+            WhatIfResult r =
+                evaluateWhatIf(ctx.trace(), server, whatif_specs);
+            if (whatif_exact)
+                r.exact = exactStepTime(server, setup, cpu_adam,
+                                        whatif_specs);
+            recordWhatIfMetrics(registry, r);
+            whatif_results.push_back(std::move(r));
+        }
+        WhatIfSweep sweep;
+        if (have_sweep) {
+            sweep = sweepWhatIf(buildSpanDag(ctx.trace()), server,
+                                sweep_spec);
+            if (whatif_exact) {
+                for (WhatIfResult &p : sweep.points)
+                    p.exact = exactStepTime(server, setup, cpu_adam,
+                                            p.specs);
+            }
+            registry.gauge("whatif.sweep.sensitivity")
+                .set(sweep.sensitivity());
         }
 
         Bytes p32 = work.model().totalParamBytesFp32();
@@ -236,8 +395,9 @@ main(int argc, char **argv)
             attrib = attributeStep(ctx.trace());
         if (json) {
             std::printf("{\"server\":\"%s\",\"model\":\"%s\","
-                        "\"stats\":%s",
+                        "\"manifest\":%s,\"stats\":%s",
                         server.name.c_str(), model.name.c_str(),
+                        manifestToJson(manifest).c_str(),
                         stepStatsToJson(stats, p32).c_str());
             if (!plan_json.empty())
                 std::printf(",\"plan\":%s", plan_json.c_str());
@@ -245,6 +405,14 @@ main(int argc, char **argv)
                 std::printf(",\"attribution\":%s",
                             attributionToJson(attrib, explain_top)
                                 .c_str());
+            if (!whatif_results.empty())
+                std::printf(
+                    ",\"whatif\":%s",
+                    whatIfResultJson(whatif_results.front())
+                        .c_str());
+            if (have_sweep)
+                std::printf(",\"whatif_sweep\":%s",
+                            whatIfSweepJson(sweep).c_str());
             if (steps > 0) {
                 auto est = estimateFineTune(server, stats.stepTime,
                                             steps);
@@ -282,11 +450,19 @@ main(int argc, char **argv)
                 std::printf("\n%s",
                             attributionTable(attrib, explain_top)
                                 .c_str());
+            if (!whatif_results.empty())
+                std::printf("\nwhat-if (counterfactual step "
+                            "times):\n%s",
+                            whatIfReport(whatif_results).c_str());
+            if (have_sweep)
+                std::printf("\n%s",
+                            whatIfSweepAscii(sweep).c_str());
         }
 
         if (!trace_file.empty()) {
             std::ofstream os(trace_file);
-            os << ctx.trace().toChromeJson();
+            os << ctx.trace().toChromeJson(
+                manifestToJson(manifest));
             if (!os)
                 fatal("cannot write trace file '%s'",
                       trace_file.c_str());
