@@ -1,0 +1,118 @@
+#include "hw/resource.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+namespace
+{
+
+/** Parse the integer suffix of e.g. "gpu3"; -1 when malformed. */
+int
+parseIndexSuffix(const std::string &resource, std::size_t prefix)
+{
+    if (resource.size() <= prefix)
+        return -1;
+    char *end = nullptr;
+    long v = std::strtol(resource.c_str() + prefix, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0)
+        return -1;
+    return static_cast<int>(v);
+}
+
+[[noreturn]] void
+badResource(const std::string &context)
+{
+    fatal("cannot parse resource in '%s'; expected rcN, gpuN, cpu, "
+          "compute|transfer|optimizer, or link:NAME",
+          context.c_str());
+}
+
+} // namespace
+
+ResourceRef
+parseResourceRef(const std::string &resource, const Server &server,
+                 const std::string &context)
+{
+    const Topology &topo = server.topo;
+    ResourceRef ref;
+    ref.resource = resource;
+    const std::string &r = resource;
+    if (r == "cpu") {
+        ref.kind = ResourceKind::CpuOptimizer;
+    } else if (r == "compute" || r == "transfer" ||
+               r == "optimizer") {
+        ref.kind = ResourceKind::Category;
+    } else if (r.rfind("gpu", 0) == 0) {
+        ref.kind = ResourceKind::GpuCompute;
+        ref.index = parseIndexSuffix(r, 3);
+        if (ref.index < 0)
+            badResource(context);
+        if (ref.index >= topo.numGpus())
+            fatal("resource '%s': server has %d GPUs", r.c_str(),
+                  topo.numGpus());
+    } else if (r.rfind("rc", 0) == 0) {
+        ref.kind = ResourceKind::RootComplex;
+        ref.index = parseIndexSuffix(r, 2);
+        if (ref.index < 0)
+            badResource(context);
+        int count = static_cast<int>(topo.rootComplexes().size());
+        if (ref.index >= count)
+            fatal("resource '%s': server has %d root complexes",
+                  r.c_str(), count);
+    } else if (r.rfind("link:", 0) == 0) {
+        ref.kind = ResourceKind::Link;
+        ref.index = topo.findLinkByName(r.substr(5));
+        if (ref.index < 0)
+            fatal("resource '%s': no such link (see topology link "
+                  "names, e.g. dram<->rc0)",
+                  r.c_str());
+    } else {
+        badResource(context);
+    }
+    return ref;
+}
+
+std::vector<int>
+resourceLinks(const ResourceRef &ref, const Topology &topo)
+{
+    switch (ref.kind) {
+      case ResourceKind::Link:
+        return {ref.index};
+      case ResourceKind::RootComplex: {
+        int rc = topo.rootComplexes()[static_cast<std::size_t>(
+            ref.index)];
+        return {topo.node(rc).upLink};
+      }
+      case ResourceKind::Category:
+        if (ref.resource == "transfer") {
+            std::vector<int> all;
+            for (int l = 0; l < topo.numLinks(); ++l)
+                all.push_back(l);
+            return all;
+        }
+        return {};
+      case ResourceKind::GpuCompute:
+      case ResourceKind::CpuOptimizer:
+        return {};
+    }
+    return {};
+}
+
+const char *
+resourceKindName(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::Link: return "link";
+      case ResourceKind::RootComplex: return "rootComplex";
+      case ResourceKind::GpuCompute: return "gpuCompute";
+      case ResourceKind::CpuOptimizer: return "cpuOptimizer";
+      case ResourceKind::Category: return "category";
+    }
+    return "?";
+}
+
+} // namespace mobius

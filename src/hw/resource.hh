@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Named hardware-resource references, shared by every CLI surface
+ * that targets "a piece of the machine" — the what-if profiler's
+ * `--whatif RESOURCE=FACTOR` specs (obs/whatif.hh) and the fault
+ * plan's degradation targets (fault/fault_plan.hh). One parser means
+ * one grammar and one set of error messages, and both flags validate
+ * their resource names against the server *before* any simulation
+ * runs.
+ */
+
+#ifndef MOBIUS_HW_RESOURCE_HH
+#define MOBIUS_HW_RESOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/server.hh"
+
+namespace mobius
+{
+
+/** Resource classes a spec can target. */
+enum class ResourceKind
+{
+    Link,         //!< one interconnect link, by topology name
+    RootComplex,  //!< a root complex's DRAM uplink
+    GpuCompute,   //!< one GPU's kernel throughput
+    CpuOptimizer, //!< the CPU-side optimizer
+    Category,     //!< a whole trace category (compute/transfer/...)
+};
+
+/** One validated resource reference. */
+struct ResourceRef
+{
+    ResourceKind kind = ResourceKind::Category;
+    /** GPU index, root-complex ordinal, or link id (kind-typed). */
+    int index = -1;
+    /** The resource text as given, e.g. "rc0" or "link:dram<->rc1". */
+    std::string resource;
+};
+
+/**
+ * Parse "rcN", "gpuN", "cpu", "compute|transfer|optimizer", or
+ * "link:NAME" against @p server (so unknown GPUs, root complexes,
+ * and links are rejected). fatal() with a usage message naming
+ * @p context (the full flag text) on malformed or unknown input.
+ */
+ResourceRef parseResourceRef(const std::string &resource,
+                             const Server &server,
+                             const std::string &context);
+
+/**
+ * @return the topology link ids whose capacity @p ref governs: the
+ *         link itself, a root complex's uplink, or every link for
+ *         the "transfer" category. Empty for compute / CPU / other
+ *         category kinds.
+ */
+std::vector<int> resourceLinks(const ResourceRef &ref,
+                               const Topology &topo);
+
+/** @return a short name for @p kind ("link", "gpuCompute", ...). */
+const char *resourceKindName(ResourceKind kind);
+
+} // namespace mobius
+
+#endif // MOBIUS_HW_RESOURCE_HH

@@ -29,6 +29,8 @@ addBody(AttributionBreakdown &b, const TraceSpan &s, double body)
         b.transfer += w;
     else if (s.category == "optimizer")
         b.optimizer += w;
+    else if (s.category == "fault")
+        b.fault += w;
     else
         b.other += w;
     b.queue += stretch;
@@ -226,6 +228,7 @@ breakdownJson(std::ostringstream &os, const AttributionBreakdown &b)
        << ",\"transfer\":" << b.transfer
        << ",\"queue\":" << b.queue
        << ",\"optimizer\":" << b.optimizer
+       << ",\"fault\":" << b.fault
        << ",\"bubble\":" << b.bubble
        << ",\"other\":" << b.other
        << ",\"total\":" << b.total() << "}";
@@ -302,6 +305,8 @@ attributionTable(const StepAttribution &a, int top_k)
     row("transfer", a.critical.transfer);
     row("queue", a.critical.queue);
     row("optimizer", a.critical.optimizer);
+    if (a.critical.fault > 0.0)
+        row("fault", a.critical.fault);
     row("bubble", a.critical.bubble);
     if (a.critical.other > 0.0)
         row("other", a.critical.other);

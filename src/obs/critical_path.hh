@@ -43,6 +43,7 @@ struct AttributionBreakdown
     double transfer = 0.0;  //!< uncontended data movement on the path
     double queue = 0.0;     //!< contention: queue wait + stretch
     double optimizer = 0.0; //!< CPU optimizer work on the path
+    double fault = 0.0;     //!< fault/retry/recovery work on the path
     double bubble = 0.0;    //!< idle gaps with no recorded cause
     double other = 0.0;     //!< spans of any unrecognised category
 
@@ -50,8 +51,8 @@ struct AttributionBreakdown
     double
     total() const
     {
-        return compute + transfer + queue + optimizer + bubble +
-            other;
+        return compute + transfer + queue + optimizer + fault +
+            bubble + other;
     }
 };
 

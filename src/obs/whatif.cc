@@ -31,28 +31,6 @@ parseFactor(const std::string &text, const std::string &where)
     return f;
 }
 
-/** Parse the integer suffix of e.g. "gpu3"; -1 when malformed. */
-int
-parseIndexSuffix(const std::string &resource, std::size_t prefix)
-{
-    if (resource.size() <= prefix)
-        return -1;
-    char *end = nullptr;
-    long v = std::strtol(resource.c_str() + prefix, &end, 10);
-    if (end == nullptr || *end != '\0' || v < 0)
-        return -1;
-    return static_cast<int>(v);
-}
-
-[[noreturn]] void
-badResource(const std::string &text)
-{
-    fatal("cannot parse what-if resource in '%s'; expected "
-          "rcN=F, gpuN=F, cpu=F, compute|transfer|optimizer=F, "
-          "or link:NAME=F",
-          text.c_str());
-}
-
 /** Dense GPU indices whose DRAM route crosses @p link_id. */
 std::vector<int>
 gpusThroughLink(const Topology &topo, int link_id)
@@ -161,19 +139,6 @@ reschedule(const SpanDag &dag, const std::vector<double> &dur)
     return makespan;
 }
 
-const char *
-kindName(WhatIfKind k)
-{
-    switch (k) {
-      case WhatIfKind::Link: return "link";
-      case WhatIfKind::RootComplex: return "rootComplex";
-      case WhatIfKind::GpuCompute: return "gpuCompute";
-      case WhatIfKind::CpuOptimizer: return "cpuOptimizer";
-      case WhatIfKind::Category: return "category";
-    }
-    return "?";
-}
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -211,44 +176,12 @@ parseWhatIfSpec(const std::string &text, const Server &server)
               text.c_str());
     }
     WhatIfSpec spec;
-    spec.resource = text.substr(0, eq);
     spec.factor = parseFactor(text.substr(eq + 1), text);
-
-    const Topology &topo = server.topo;
-    const std::string &r = spec.resource;
-    if (r == "cpu") {
-        spec.kind = WhatIfKind::CpuOptimizer;
-    } else if (r == "compute" || r == "transfer" ||
-               r == "optimizer") {
-        spec.kind = WhatIfKind::Category;
-    } else if (r.rfind("gpu", 0) == 0) {
-        spec.kind = WhatIfKind::GpuCompute;
-        spec.index = parseIndexSuffix(r, 3);
-        if (spec.index < 0)
-            badResource(text);
-        if (spec.index >= topo.numGpus())
-            fatal("what-if resource '%s': server has %d GPUs",
-                  r.c_str(), topo.numGpus());
-    } else if (r.rfind("rc", 0) == 0) {
-        spec.kind = WhatIfKind::RootComplex;
-        spec.index = parseIndexSuffix(r, 2);
-        if (spec.index < 0)
-            badResource(text);
-        int count = static_cast<int>(topo.rootComplexes().size());
-        if (spec.index >= count)
-            fatal("what-if resource '%s': server has %d root "
-                  "complexes",
-                  r.c_str(), count);
-    } else if (r.rfind("link:", 0) == 0) {
-        spec.kind = WhatIfKind::Link;
-        spec.index = topo.findLinkByName(r.substr(5));
-        if (spec.index < 0)
-            fatal("what-if resource '%s': no such link (see "
-                  "topology link names, e.g. dram<->rc0)",
-                  r.c_str());
-    } else {
-        badResource(text);
-    }
+    ResourceRef ref =
+        parseResourceRef(text.substr(0, eq), server, text);
+    spec.kind = ref.kind;
+    spec.index = ref.index;
+    spec.resource = std::move(ref.resource);
     return spec;
 }
 
@@ -321,29 +254,13 @@ perturbServer(const Server &server,
 {
     Server out = server;
     Topology &topo = out.topo;
-    auto scale = [&](int link, double f) {
-        topo.setLinkCapacity(link, topo.link(link).capacity * f);
-    };
     for (const WhatIfSpec &spec : specs) {
-        switch (spec.kind) {
-          case WhatIfKind::Link:
-            scale(spec.index, spec.factor);
-            break;
-          case WhatIfKind::RootComplex: {
-            int rc = topo.rootComplexes()[static_cast<std::size_t>(
-                spec.index)];
-            scale(topo.node(rc).upLink, spec.factor);
-            break;
-          }
-          case WhatIfKind::Category:
-            if (spec.resource == "transfer") {
-                for (int l = 0; l < topo.numLinks(); ++l)
-                    scale(l, spec.factor);
-            }
-            break;
-          case WhatIfKind::GpuCompute:
-          case WhatIfKind::CpuOptimizer:
-            break; // engine-rate side, see runPerturbation()
+        // GpuCompute / CpuOptimizer resolve to no links: they are
+        // the engine-rate side, see runPerturbation().
+        ResourceRef ref{spec.kind, spec.index, spec.resource};
+        for (int l : resourceLinks(ref, topo)) {
+            topo.setLinkCapacity(l, topo.link(l).capacity *
+                                        spec.factor);
         }
     }
     return out;
@@ -529,7 +446,7 @@ whatIfResultJson(const WhatIfResult &r)
         if (i > 0)
             os << ",";
         os << "{\"resource\":\"" << jsonEscape(s.resource)
-           << "\",\"kind\":\"" << kindName(s.kind)
+           << "\",\"kind\":\"" << resourceKindName(s.kind)
            << "\",\"factor\":" << s.factor << "}";
     }
     os << "],\"base_step_time\":" << r.baseStepTime

@@ -48,21 +48,19 @@
 #include <string>
 #include <vector>
 
+#include "hw/resource.hh"
 #include "hw/server.hh"
 #include "simcore/trace.hh"
 
 namespace mobius
 {
 
-/** Resource classes a virtual speedup can target. */
-enum class WhatIfKind
-{
-    Link,         //!< one interconnect link, by topology name
-    RootComplex,  //!< a root complex's DRAM uplink
-    GpuCompute,   //!< one GPU's kernel throughput
-    CpuOptimizer, //!< the CPU-side optimizer
-    Category,     //!< a whole trace category (compute/transfer/...)
-};
+/**
+ * Resource classes a virtual speedup can target. The taxonomy (and
+ * the parser) is shared with the fault plan's degradation targets —
+ * see hw/resource.hh.
+ */
+using WhatIfKind = ResourceKind;
 
 /** One parsed virtual speedup: RESOURCE=FACTOR. */
 struct WhatIfSpec

@@ -23,6 +23,7 @@
 #include <deque>
 #include <functional>
 
+#include "base/logging.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/trace.hh"
 
@@ -64,6 +65,19 @@ class CpuOptimizer
             startNext();
     }
 
+    /**
+     * Set the fault-injection throttle: updates *started* from now
+     * on run for duration / @p factor seconds (CPU jitter windows,
+     * fault/fault_injector.hh).
+     */
+    void
+    setThrottle(double factor)
+    {
+        if (!(factor > 0.0))
+            panic("optimizer throttle must be > 0, got %g", factor);
+        throttle_ = factor;
+    }
+
     /** Total seconds the (simulated) CPU spent applying updates. */
     double busyTime() const { return busyTime_; }
     bool idle() const { return !busy_ && tasks_.empty(); }
@@ -86,13 +100,14 @@ class CpuOptimizer
         busy_ = true;
         Task task = std::move(tasks_.front());
         tasks_.pop_front();
-        busyTime_ += task.duration;
+        double effective = task.duration / throttle_;
+        busyTime_ += effective;
         double start = queue_.now();
         queue_.scheduleAfter(
-            task.duration,
+            effective,
             [this, start, label = std::move(task.label),
              deps = std::move(task.deps), stage = task.stage,
-             queuedAt = task.queuedAt] {
+             queuedAt = task.queuedAt, work = task.duration] {
                 if (trace_) {
                     TraceSpan s;
                     s.track = "cpu.optim";
@@ -102,6 +117,10 @@ class CpuOptimizer
                     s.end = queue_.now();
                     s.deps = deps;
                     s.queuedAt = queuedAt;
+                    // Jitter-stretched updates keep intrinsic work
+                    // so the slowdown reads as contention.
+                    if (queue_.now() - start > work)
+                        s.work = work;
                     s.stage = stage;
                     trace_->record(std::move(s));
                 }
@@ -113,6 +132,7 @@ class CpuOptimizer
     EventQueue &queue_;
     double throughput_;
     TraceRecorder *trace_;
+    double throttle_ = 1.0;
     bool busy_ = false;
     double busyTime_ = 0.0;
     std::deque<Task> tasks_;

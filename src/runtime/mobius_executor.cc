@@ -205,6 +205,13 @@ MobiusExecutor::pump(int gpu)
             req.bytes = bytes;
             req.kind = TrafficKind::Parameter;
             req.priority = cfg_.prioWeightBase + e.order;
+            // Straggler-aware prefetch (fault injection): a
+            // throttled GPU computes slowly, so its stage loads are
+            // not the bottleneck — demote them and let healthy GPUs'
+            // prefetches win the shared links.
+            if (cfg_.stragglerAwarePrefetch && ctx_.faults() &&
+                ctx_.faults()->computeThrottle(gpu) < 1.0)
+                req.priority += cfg_.stragglerPrioPenalty;
             req.rateCap = cfg_.weightSourceRateCap;
             req.label = strfmt("S%d.%s", e.stage,
                                e.phase == Phase::Fwd ? "fwd"
@@ -215,7 +222,7 @@ MobiusExecutor::pump(int gpu)
             req.onComplete = [this, gpu, ep, bytes] {
                 onWeightChunk(gpu, ep, bytes);
             };
-            ctx_.xfer().submit(req);
+            ctx_.submitXfer(req);
         }
         if (e.transferBytes == 0 && e.ready())
             onEntryReady(&e);
@@ -304,7 +311,7 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
         off.label = strfmt("ckpt%d,%d", stage, mb);
         off.deps = {s.lastFwdSpan};
         off.stage = stage;
-        ctx_.xfer().submit(off);
+        ctx_.submitXfer(off);
     }
 
     // Hand the boundary activation to the next stage.
@@ -333,7 +340,7 @@ MobiusExecutor::onFwdCompute(int stage, int mb)
                     ctx_.xfer().lastSpanId();
                 tryScheduleFwd(nstage);
             };
-            ctx_.xfer().submit(act);
+            ctx_.submitXfer(act);
         }
     } else if (s.fwdDone == M_) {
         // Loss computed; the last stage's backward may begin on all
@@ -416,7 +423,7 @@ MobiusExecutor::askCheckpoint(int stage, int mb, SpanId trigger)
             ctx_.xfer().lastSpanId();
         tryScheduleBwd(stage);
     };
-    ctx_.xfer().submit(up);
+    ctx_.submitXfer(up);
 }
 
 void
@@ -489,7 +496,7 @@ MobiusExecutor::onBwdCompute(int stage, int mb)
                     ctx_.xfer().lastSpanId();
                 tryScheduleBwd(pstage);
             };
-            ctx_.xfer().submit(g);
+            ctx_.submitXfer(g);
         }
     }
 
@@ -539,7 +546,7 @@ MobiusExecutor::finishBwdStage(int stage)
                 {ctx_.xfer().lastSpanId()}, stage_idx);
             pump(gpu);
         };
-        ctx_.xfer().submit(flush);
+        ctx_.submitXfer(flush);
     }
     pump(gpu);
 }

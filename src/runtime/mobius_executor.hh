@@ -50,6 +50,15 @@ struct MobiusExecutorConfig
     int prioWeightBase = 10;      //!< + stage execution order
     int prioGradFlush = 2000;     //!< gradient flushes to DRAM
     int prioCheckpointOffload = 3000; //!< checkpoint offloads
+    /**
+     * Recovery policy under fault injection: demote weight prefetch
+     * for GPUs the fault injector is currently throttling (a
+     * straggler's compute, not its loads, is the bottleneck), so
+     * healthy GPUs' prefetches win the shared links. No effect in
+     * fault-free runs.
+     */
+    bool stragglerAwarePrefetch = true;
+    int stragglerPrioPenalty = 500; //!< added to demoted prefetches
 };
 
 /** Runs one Mobius training step. */

@@ -171,7 +171,7 @@ PipelineExecutor::onFwdCompute(int stage, int mb)
                 ctx_.xfer().lastSpanId();
             schedule(stages_[nstage].gpu);
         };
-        ctx_.xfer().submit(act);
+        ctx_.submitXfer(act);
     }
     schedule(s.gpu);
 }
@@ -205,7 +205,7 @@ PipelineExecutor::onBwdCompute(int stage, int mb)
                 ctx_.xfer().lastSpanId();
             schedule(stages_[pstage].gpu);
         };
-        ctx_.xfer().submit(g);
+        ctx_.submitXfer(g);
     }
     schedule(s.gpu);
 }

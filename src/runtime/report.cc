@@ -36,7 +36,15 @@ stepStatsToJson(const StepStats &stats, Bytes model_bytes_fp32)
         os << "\"" << trafficKindName(kind)
            << "\":" << stats.traffic.bytesOf(kind);
     }
-    os << "}}";
+    os << "}";
+    if (stats.faultFailures > 0 || stats.faultRetries > 0 ||
+        stats.faultCrashes > 0 || stats.faultSeconds > 0.0) {
+        os << ",\"fault\":{\"failures\":" << stats.faultFailures
+           << ",\"retries\":" << stats.faultRetries
+           << ",\"crashes\":" << stats.faultCrashes
+           << ",\"seconds\":" << stats.faultSeconds << "}";
+    }
+    os << "}";
     return os.str();
 }
 

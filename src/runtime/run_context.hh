@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "hw/server.hh"
 #include "obs/critical_path.hh"
 #include "obs/metrics.hh"
@@ -42,12 +43,19 @@ class RunContext
      * counterfactual (obs/whatif.hh): per-GPU compute speed factors
      * and a CPU optimizer throughput multiplier; the default is the
      * identity (a faithful run).
+     *
+     * When @p faults is non-null and non-empty, a FaultInjector is
+     * constructed over the engines and armed; executors must then
+     * route transfers through submitXfer() so transient failures and
+     * retries apply.
      */
     explicit RunContext(const Server &server,
                         TransferEngineConfig xfer_cfg = {},
                         double cpu_adam_throughput = 0.0,
                         MetricsRegistry *metrics = nullptr,
-                        RunPerturbation perturb = {})
+                        RunPerturbation perturb = {},
+                        const FaultPlan *faults = nullptr,
+                        std::uint64_t fault_seed = 1)
         : server_(&server),
           metrics_(metrics),
           usage_(queue_, server.topo.numGpus()),
@@ -65,6 +73,18 @@ class RunContext
             memory_.push_back(std::make_unique<GpuMemory>(
                 server.topo.gpuSpec(g).memBytes));
         }
+        if (faults && !faults->empty()) {
+            std::vector<ComputeEngine *> engines;
+            for (auto &ce : compute_)
+                engines.push_back(ce.get());
+            faults_ = std::make_unique<FaultInjector>(
+                queue_, server.topo, xfer_, std::move(engines),
+                *faults, fault_seed,
+                [this](double f) { cpuOptimizer_.setThrottle(f); },
+                [this] { return workloadIdle(); }, &trace_,
+                metrics);
+            faults_->arm();
+        }
     }
 
     const Server &server() const { return *server_; } //!< the machine
@@ -81,6 +101,38 @@ class RunContext
 
     /** The registry engines report into, or nullptr. */
     MetricsRegistry *metrics() { return metrics_; }
+
+    /** The fault injector, or nullptr for fault-free runs. */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /**
+     * Submit a transfer through the fault model when one is active
+     * (transient failures + retries), or straight to the engine.
+     * Executors route every transfer here instead of xfer().submit.
+     */
+    FlowId
+    submitXfer(TransferRequest req)
+    {
+        if (faults_)
+            return faults_->submit(std::move(req));
+        return xfer_.submit(std::move(req));
+    }
+
+    /**
+     * @return true when every engine has drained: the fault
+     * injector's signal that the step is over and its remaining
+     * timed events should be cancelled rather than run.
+     */
+    bool
+    workloadIdle() const
+    {
+        if (!xfer_.idle() || !cpuOptimizer_.idle())
+            return false;
+        for (const auto &ce : compute_)
+            if (!ce->idle())
+                return false;
+        return true;
+    }
 
     /**
      * @return the enabled registry, or nullptr when metrics are off —
@@ -105,6 +157,22 @@ class RunContext
         stats.stepTime = queue_.now();
         stats.numGpus = numGpus();
         stats.traffic = xfer_.stats();
+        if (faults_) {
+            // A fault event can fire after the workload drains (the
+            // injector cancels it, but the queue clock has already
+            // advanced); the step ends when its last span does.
+            if (trace_.spanCount() > 0) {
+                double last = 0.0;
+                for (std::size_t i = 0; i < trace_.spanCount(); ++i)
+                    last = std::max(last, trace_.span(i).end);
+                stats.stepTime = last;
+            }
+            const FaultCounters &fc = faults_->counters();
+            stats.faultFailures = fc.failures;
+            stats.faultRetries = fc.retries;
+            stats.faultCrashes = fc.crashes;
+            stats.faultSeconds = fc.seconds();
+        }
         for (int g = 0; g < numGpus(); ++g) {
             stats.computeTime += usage_.computeTime(g);
             stats.exposedCommTime += usage_.exposedCommTime(g);
@@ -149,6 +217,8 @@ class RunContext
                     .add(a.critical.queue);
                 m->counter("attrib.critical.optimizer.seconds")
                     .add(a.critical.optimizer);
+                m->counter("attrib.critical.fault.seconds")
+                    .add(a.critical.fault);
                 m->counter("attrib.critical.bubble.seconds")
                     .add(a.critical.bubble);
                 m->counter("attrib.queue.total.seconds")
@@ -173,6 +243,7 @@ class RunContext
     CpuOptimizer cpuOptimizer_;
     std::vector<std::unique_ptr<ComputeEngine>> compute_;
     std::vector<std::unique_ptr<GpuMemory>> memory_;
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 } // namespace mobius

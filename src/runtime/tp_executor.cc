@@ -157,7 +157,7 @@ TensorParallelExecutor::onCompute(int gpu, int slot)
                     ctx_.xfer().lastSpanId());
                 onPiece(d, slot);
             };
-            ctx_.xfer().submit(req);
+            ctx_.submitXfer(req);
         }
     }
 }
@@ -202,7 +202,7 @@ TensorParallelExecutor::onPiece(int gpu, int slot)
                         {ctx_.xfer().lastSpanId()}, lyr);
                 }
             };
-            ctx_.xfer().submit(flush);
+            ctx_.submitXfer(flush);
             if (mGradFlushes_)
                 mGradFlushes_->add();
         }

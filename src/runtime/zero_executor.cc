@@ -105,7 +105,7 @@ ZeroHeteroExecutor::pump(int gpu)
                 .push_back(ctx_.xfer().lastSpanId());
             onShard(gpu, k);
         };
-        ctx_.xfer().submit(req);
+        ctx_.submitXfer(req);
 
         // Backward additionally uploads the layer's checkpointed
         // input activation (A_DeepSpeed).
@@ -119,7 +119,7 @@ ZeroHeteroExecutor::pump(int gpu)
             up.label = strfmt("c%d", layer);
             up.deps = {g.memFreedBy};
             up.stage = layer;
-            ctx_.xfer().submit(up);
+            ctx_.submitXfer(up);
         }
     }
 }
@@ -155,7 +155,7 @@ ZeroHeteroExecutor::sendPeerPiece(int src, int dst, int k)
             .push_back(ctx_.xfer().lastSpanId());
         onPiece(dst, k);
     };
-    ctx_.xfer().submit(req);
+    ctx_.submitXfer(req);
 }
 
 void
@@ -251,7 +251,7 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
             off.label = strfmt("ckpt%d", layer);
             off.deps = {g.lastComputeSpan};
             off.stage = layer;
-            ctx_.xfer().submit(off);
+            ctx_.submitXfer(off);
         }
     } else {
         // Reduce-scatter this rank's FP16 layer gradients: (N-1)/N
@@ -276,7 +276,7 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
             rs.label = strfmt("rs%d:%d>%d", layer, gpu, other);
             rs.deps = {g.lastComputeSpan};
             rs.stage = layer;
-            ctx_.xfer().submit(rs);
+            ctx_.submitXfer(rs);
         }
         TransferRequest grad;
         grad.src = Endpoint::gpuAt(gpu);
@@ -296,7 +296,7 @@ ZeroHeteroExecutor::onCompute(int gpu, int k)
                     {ctx_.xfer().lastSpanId()}, lyr);
             }
         };
-        ctx_.xfer().submit(grad);
+        ctx_.submitXfer(grad);
     }
 
     // Release the slot's memory and refill the prefetch window.

@@ -72,6 +72,42 @@ class ComputeEngine
             startNext();
     }
 
+    /**
+     * Push a task to the *front* of the queue under an arbitrary
+     * span category — the fault injector's hook for checkpoint and
+     * crash-recovery work (category "fault"), which must run before
+     * any queued kernels. The running kernel is not preempted. The
+     * task's span seeds a causal edge into the next span this engine
+     * records, so recovery time sits on the critical path.
+     */
+    void
+    injectFront(double duration, std::string category,
+                std::string label, std::vector<SpanId> deps = {})
+    {
+        tasks_.push_front(Task{duration / speedFactor_, nullptr,
+                               std::move(label), std::move(deps), -1,
+                               queue_.now(), std::move(category)});
+        if (!busy_)
+            startNext();
+    }
+
+    /**
+     * Set the straggler throttle: every task *started* from now on
+     * runs for duration / @p factor seconds (factor 0.5 = half
+     * speed). Applied at start, not submit, so a throttle window
+     * slows exactly the kernels that overlap it.
+     */
+    void
+    setThrottle(double factor)
+    {
+        if (!(factor > 0.0))
+            panic("compute throttle must be > 0, got %g", factor);
+        throttle_ = factor;
+    }
+
+    /** @return the current straggler throttle (1 = nominal). */
+    double throttle() const { return throttle_; }
+
     /** @return true when nothing is running or queued. */
     bool idle() const { return !busy_ && tasks_.empty(); }
 
@@ -97,6 +133,7 @@ class ComputeEngine
         std::vector<SpanId> deps;
         int stage = -1;
         SimTime queuedAt = -1.0;
+        std::string category = "compute";
     };
 
     void
@@ -110,35 +147,62 @@ class ComputeEngine
         busy_ = true;
         Task task = std::move(tasks_.front());
         tasks_.pop_front();
-        if (usage_)
-            usage_->computeBegin(gpu_);
-        if (mKernels_) {
-            mKernels_->add();
-            mKernelSeconds_->record(task.duration);
+        // The straggler throttle applies at start time; task.duration
+        // stays the intrinsic (nominal-speed) cost so the slowdown
+        // shows up as contention stretch in attribution.
+        const bool kernel = task.category == "compute";
+        // An injected fault task ran when it did because this serial
+        // engine was busy until now: chain it to the span that just
+        // retired so the backward critical-path walk continues
+        // through it instead of dead-ending at a depless span.
+        if (!kernel && lastSpan_ != kNoSpan)
+            task.deps.push_back(lastSpan_);
+        double effective = task.duration / throttle_;
+        if (kernel) {
+            if (usage_)
+                usage_->computeBegin(gpu_);
+            if (mKernels_) {
+                mKernels_->add();
+                mKernelSeconds_->record(effective);
+            }
+            busyTime_ += effective;
         }
-        busyTime_ += task.duration;
         double start = queue_.now();
         queue_.scheduleAfter(
-            task.duration,
-            [this, start, cb = std::move(task.onComplete),
+            effective,
+            [this, start, kernel, cb = std::move(task.onComplete),
              label = std::move(task.label),
              deps = std::move(task.deps), stage = task.stage,
-             queuedAt = task.queuedAt] {
-                if (usage_)
+             queuedAt = task.queuedAt,
+             category = std::move(task.category),
+             work = task.duration] {
+                if (kernel && usage_)
                     usage_->computeEnd(gpu_);
                 if (trace_) {
                     TraceSpan s;
                     s.track =
                         "gpu" + std::to_string(gpu_) + ".compute";
                     s.name = label;
-                    s.category = "compute";
+                    s.category = category;
                     s.start = start;
                     s.end = queue_.now();
                     s.deps = deps;
+                    if (pendingFaultDep_ != kNoSpan)
+                        s.deps.push_back(pendingFaultDep_);
+                    pendingFaultDep_ = kNoSpan;
                     s.queuedAt = queuedAt;
+                    // Throttled kernels keep their intrinsic work so
+                    // the straggler stretch reads as contention;
+                    // fault tasks are all work by definition.
+                    if (kernel)
+                        s.work = queue_.now() - start > work
+                            ? work
+                            : -1.0;
                     s.gpu = gpu_;
                     s.stage = stage;
                     lastSpan_ = trace_->record(std::move(s));
+                    if (!kernel)
+                        pendingFaultDep_ = lastSpan_;
                 }
                 busy_ = false;
                 if (cb)
@@ -152,11 +216,14 @@ class ComputeEngine
     int gpu_;
     TraceRecorder *trace_;
     double speedFactor_ = 1.0;
+    double throttle_ = 1.0;
     Counter *mKernels_ = nullptr;
     Histogram *mKernelSeconds_ = nullptr;
     bool busy_ = false;
     double busyTime_ = 0.0;
     SpanId lastSpan_ = kNoSpan;
+    /** Span of the last fault task; next span records it as a dep. */
+    SpanId pendingFaultDep_ = kNoSpan;
     std::deque<Task> tasks_;
 };
 

@@ -28,6 +28,7 @@ TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
         poolCapacity_[static_cast<std::size_t>(l) * 2 + 1] =
             topo.link(l).capacity;
     }
+    basePoolCapacity_ = poolCapacity_;
 
     if (metrics && metrics->enabled()) {
         mLinkBytes_.resize(static_cast<std::size_t>(topo.numLinks()));
@@ -40,12 +41,28 @@ TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
         mActiveFlows_ = &metrics->gauge("xfer.flows.active");
         mSubmitted_ = &metrics->counter("xfer.flows.submitted");
         mCompleted_ = &metrics->counter("xfer.flows.completed");
+        mFailed_ = &metrics->counter("xfer.flows.failed");
         mStalled_ = &metrics->counter("xfer.flows.stalled");
         mRecomputes_ = &metrics->counter("xfer.rate.recomputes");
         mBandwidth_ = &metrics->histogram("xfer.bandwidth");
         mFairShareRounds_ =
             &metrics->histogram("xfer.fair_share.rounds");
     }
+}
+
+void
+TransferEngine::setLinkCapacityFactor(int link, double factor)
+{
+    if (link < 0 || link >= topo_.numLinks())
+        panic("setLinkCapacityFactor: no link %d", link);
+    if (!(factor > 0.0))
+        panic("link capacity factor must be > 0, got %g", factor);
+    for (int d = 0; d < 2; ++d) {
+        std::size_t pool = static_cast<std::size_t>(link) * 2 +
+            static_cast<std::size_t>(d);
+        poolCapacity_[pool] = basePoolCapacity_[pool] * factor;
+    }
+    recomputeRates();
 }
 
 int
@@ -306,7 +323,7 @@ TransferEngine::finish(FlowId id)
             poolCapacity_[static_cast<std::size_t>(pool)]);
 
     if (mCompleted_) {
-        mCompleted_->add();
+        (flow.req.willFail ? mFailed_ : mCompleted_)->add();
         --activeCount_;
         mActiveFlows_->set(activeCount_);
         for (int pool : flow.pools) {
@@ -338,7 +355,12 @@ TransferEngine::finish(FlowId id)
         s.name = flow.req.label.empty()
             ? trafficKindName(flow.req.kind)
             : flow.req.label;
-        s.category = "transfer";
+        // A doomed attempt consumed the link for nothing: its whole
+        // interval is fault time, and the retry records it as a
+        // causal dependency (fault/fault_injector.hh).
+        s.category = flow.req.willFail ? "fault" : "transfer";
+        if (flow.req.willFail)
+            s.name += "!fail";
         s.start = flow.dataStart;
         s.end = queue_.now();
         s.deps = std::move(flow.req.deps);
@@ -364,7 +386,9 @@ TransferEngine::finish(FlowId id)
         engines_[e].current = 0;
     }
 
-    auto on_complete = std::move(flow.req.onComplete);
+    auto on_complete = flow.req.willFail
+        ? std::move(flow.req.onFail)
+        : std::move(flow.req.onComplete);
     flows_.erase(id);
 
     recomputeRates();

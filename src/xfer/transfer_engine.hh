@@ -56,6 +56,15 @@ struct TransferRequest
     double rateCap = 0.0;
     std::string label;            //!< trace span name
     std::function<void()> onComplete; //!< fires when the flow lands
+    /**
+     * Fault-injection hook (fault/fault_injector.hh): when set, this
+     * attempt is doomed — it occupies its engines and links for the
+     * full transfer, then surfaces as a failure (a CRC/timeout-style
+     * transient error detected at completion). onFail fires instead
+     * of onComplete and the span lands in category "fault".
+     */
+    bool willFail = false;
+    std::function<void()> onFail; //!< fires when a doomed flow ends
     /** Spans that causally enabled this transfer (e.g. the compute
      *  that produced the activation, or the eviction that freed
      *  destination memory). */
@@ -81,6 +90,16 @@ class TransferEngine
 
     /** Submit a transfer; completes asynchronously. */
     FlowId submit(TransferRequest req);
+
+    /**
+     * Rescale link @p link's capacity (both directions) to
+     * @p factor x its construction-time value and re-solve the
+     * fair-share rates of every in-flight flow. The fault injector's
+     * bandwidth-degradation hook: factors compose by overwriting
+     * (pass the product of active degradations), and factor 1
+     * restores the nominal capacity.
+     */
+    void setLinkCapacityFactor(int link, double factor);
 
     /** @return true when nothing is queued or in flight. */
     bool idle() const { return flows_.empty(); }
@@ -164,6 +183,7 @@ class TransferEngine
     std::map<FlowId, Flow> flows_;
     std::vector<CopyEngine> engines_;
     std::vector<double> poolCapacity_;
+    std::vector<double> basePoolCapacity_; //!< nominal (factor 1)
     FlowId nextId_ = 1;
     std::uint64_t nextSeq_ = 1;
     SpanId lastSpan_ = kNoSpan;
@@ -179,6 +199,7 @@ class TransferEngine
     Gauge *mActiveFlows_ = nullptr;
     Counter *mSubmitted_ = nullptr;
     Counter *mCompleted_ = nullptr;
+    Counter *mFailed_ = nullptr;
     Counter *mStalled_ = nullptr;
     Counter *mRecomputes_ = nullptr;
     Histogram *mBandwidth_ = nullptr;

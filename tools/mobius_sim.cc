@@ -62,6 +62,22 @@
  *                                  by re-simulating with the
  *                                  perturbed server and report the
  *                                  drift
+ *   --faults FILE|SPEC             inject faults (fault/fault_plan.hh):
+ *                                  a JSON plan file, or an inline
+ *                                  ';'-separated spec, e.g.
+ *                                  "degrade:rc0=0.25@0.1+0.3;
+ *                                  xfail=0.01;retry=6+1e-4". Events:
+ *                                  degrade:RES=F@START+DUR,
+ *                                  flaky:RES=F~GAP+DUR, xfail=P,
+ *                                  crash:gpuN@T, ckpt=INTERVAL+COST,
+ *                                  restart=SEC, retry=BUDGET+BACKOFF.
+ *                                  RES uses the --whatif resource
+ *                                  grammar and is validated before
+ *                                  the simulation.
+ *   --fault-seed N                 RNG seed for stochastic fault
+ *                                  events (default 1); a fixed seed
+ *                                  makes the faulted run bit-identical
+ *                                  across repeats
  */
 
 #include <cstdio>
@@ -69,6 +85,7 @@
 #include <memory>
 
 #include "base/args.hh"
+#include "fault/fault_plan.hh"
 #include "obs/critical_path.hh"
 #include "obs/metrics.hh"
 #include "obs/whatif.hh"
@@ -331,6 +348,15 @@ main(int argc, char **argv)
         if (whatif_exact && whatif_specs.empty() && !have_sweep)
             fatal("--whatif-exact requires --whatif or "
                   "--whatif-sweep");
+
+        // Fault plan: parsed against the server (same resource
+        // grammar as --whatif) so bad plans fail before the run.
+        FaultPlan fault_plan;
+        std::string faults_arg = args.get("faults", "");
+        if (!faults_arg.empty())
+            fault_plan = loadFaultPlan(faults_arg, server);
+        std::uint64_t fault_seed = static_cast<std::uint64_t>(
+            args.getInt("fault-seed", 1));
         args.rejectUnused();
 
         RunManifest manifest;
@@ -347,7 +373,13 @@ main(int argc, char **argv)
 
         MetricsRegistry registry;
         setup.popts.metrics = &registry; // plan.mip.* / solver.lp.*
-        RunContext ctx(server, {}, cpu_adam, &registry);
+        RunContext ctx(server, {}, cpu_adam, &registry, {},
+                       fault_plan.empty() ? nullptr : &fault_plan,
+                       fault_seed);
+        if (!fault_plan.empty() && !json)
+            std::printf("faults: %s (seed %llu)\n",
+                        faultPlanSummary(fault_plan).c_str(),
+                        static_cast<unsigned long long>(fault_seed));
         // Sample counters onto the trace/CSV timeline while the
         // simulation runs. Started before the executor, so the first
         // tick is already queued when events begin.
@@ -439,6 +471,20 @@ main(int argc, char **argv)
                         stats.trafficRatio(p32));
             std::printf("exposed comm    : %.1f%%\n",
                         100 * stats.exposedCommFraction());
+            if (ctx.faults()) {
+                const FaultCounters &fc =
+                    ctx.faults()->counters();
+                std::printf(
+                    "faults          : %llu failed xfers, "
+                    "%llu retries, %llu crashes, %llu ckpts "
+                    "(%s injected)\n",
+                    static_cast<unsigned long long>(fc.failures),
+                    static_cast<unsigned long long>(fc.retries),
+                    static_cast<unsigned long long>(fc.crashes),
+                    static_cast<unsigned long long>(
+                        fc.checkpoints),
+                    formatSeconds(fc.seconds()).c_str());
+            }
             if (steps > 0) {
                 auto est = estimateFineTune(server, stats.stepTime,
                                             steps);
