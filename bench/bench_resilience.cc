@@ -12,7 +12,7 @@
  * checkpoint interval, reading the injector's recovery and
  * checkpoint cost counters.
  *
- * Usage: bench_resilience [--quick] [--out FILE]
+ * Usage: bench_resilience [--quick] [--out FILE] [--threads N]
  *
  *   --quick   GPT-8B on the 2+2 server only (this is the tier-1
  *             ctest smoke). Exits nonzero when a fixed fault seed is
@@ -23,6 +23,12 @@
  *             checkpoint-interval tradeoff loses its ordering.
  *   --out     JSON output path (default BENCH_resilience.json in
  *             the working directory).
+ *   --threads worker threads for the goodput-curve sweep (0 =
+ *             hardware concurrency, the default). Each (model, topo,
+ *             system) curve is an independent replica dispatched
+ *             through simcore/replica_runner.hh into its own slot;
+ *             the reduction runs in curve order after the join, so
+ *             the output is bit-identical at any thread count.
  *
  * Expected shape: Mobius overlaps prefetch behind compute, so a
  * retried transfer often hides in slack that ZeRO — which blocks on
@@ -42,6 +48,7 @@
 #include "base/args.hh"
 #include "bench_util.hh"
 #include "fault/fault_plan.hh"
+#include "simcore/replica_runner.hh"
 
 using namespace mobius;
 
@@ -305,6 +312,8 @@ main(int argc, char **argv)
         const bool quick = args.has("quick");
         const std::string out =
             args.get("out", "BENCH_resilience.json");
+        const int threads =
+            static_cast<int>(args.getInt("threads", 0));
         args.rejectUnused();
 
         bench::section("Resilience: goodput under transient faults, "
@@ -320,14 +329,36 @@ main(int argc, char **argv)
         if (!quick)
             configs.push_back({gpt8b(), {4, 4}, "4+4"});
 
-        std::vector<GoodputCurve> curves;
-        for (const Config &c : configs) {
-            for (const char *system : {"mobius", "deepspeed"}) {
-                curves.push_back(runGoodputCurve(c.model, c.groups,
-                                                 c.topo, system));
-                printGoodputCurve(curves.back());
-            }
-        }
+        // One replica per (model, topo, system) goodput curve:
+        // independent simulations, per-slot results, printed and
+        // gated in job order after the join (bit-identical at any
+        // thread count).
+        struct Job
+        {
+            Config config;
+            std::string system;
+        };
+        std::vector<Job> jobs;
+        for (const Config &c : configs)
+            for (const char *system : {"mobius", "deepspeed"})
+                jobs.push_back({c, system});
+
+        std::vector<GoodputCurve> curves(jobs.size());
+        ReplicaRunnerOptions ropts;
+        ropts.threads = threads;
+        ReplicaRunStats rstats = runReplicas(
+            static_cast<int>(jobs.size()),
+            [&](int i) {
+                const Job &j = jobs[static_cast<std::size_t>(i)];
+                curves[static_cast<std::size_t>(i)] =
+                    runGoodputCurve(j.config.model, j.config.groups,
+                                    j.config.topo, j.system);
+            },
+            ropts);
+        std::printf("  (%zu curves on %d threads)\n", jobs.size(),
+                    rstats.threadsUsed);
+        for (const GoodputCurve &r : curves)
+            printGoodputCurve(r);
 
         // Gate 1: at every swept rate on the 8B 2+2 config, Mobius
         // goodput trails ZeRO by at most kGoodputMargin.

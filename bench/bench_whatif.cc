@@ -11,7 +11,7 @@
  * server — same plan, different link capacity — and records the
  * drift between the two.
  *
- * Usage: bench_whatif [--quick] [--out FILE]
+ * Usage: bench_whatif [--quick] [--out FILE] [--threads N]
  *
  *   --quick   GPT-8B on the 2+2 server only (this is the tier-1
  *             ctest smoke). Exits nonzero when any sweep point's
@@ -20,6 +20,12 @@
  *             sensitivity is not strictly steeper than Mobius's.
  *   --out     JSON output path (default BENCH_whatif.json in the
  *             working directory).
+ *   --threads worker threads for the curve sweep (0 = hardware
+ *             concurrency, the default). Each (model, topo, system)
+ *             curve is an independent replica dispatched through
+ *             simcore/replica_runner.hh; results land in per-curve
+ *             slots and are reduced in curve order, so the output is
+ *             bit-identical at any thread count.
  *
  * Expected shape: ZeRO is bandwidth-bound (every layer's parameters
  * cross the root complex every microbatch), so its step time rises
@@ -38,6 +44,7 @@
 #include "base/args.hh"
 #include "bench_util.hh"
 #include "obs/whatif.hh"
+#include "simcore/replica_runner.hh"
 
 using namespace mobius;
 
@@ -175,6 +182,8 @@ main(int argc, char **argv)
         Args args(argc, argv);
         const bool quick = args.has("quick");
         const std::string out = args.get("out", "BENCH_whatif.json");
+        const int threads =
+            static_cast<int>(args.getInt("threads", 0));
         args.rejectUnused();
 
         bench::section("What-if: rc0 bandwidth sensitivity, "
@@ -193,14 +202,35 @@ main(int argc, char **argv)
             configs.push_back({gpt15b(), {4, 4}, "4+4"});
         }
 
-        std::vector<CurveResult> curves;
-        for (const Config &c : configs) {
-            for (const char *system : {"mobius", "deepspeed"}) {
-                curves.push_back(runCurve(c.model, c.groups,
-                                          c.topo, system));
-                printCurve(curves.back());
-            }
-        }
+        // One replica per (model, topo, system) curve: independent
+        // simulations, per-slot results, printed and reduced in job
+        // order after the join (bit-identical at any thread count).
+        struct Job
+        {
+            Config config;
+            std::string system;
+        };
+        std::vector<Job> jobs;
+        for (const Config &c : configs)
+            for (const char *system : {"mobius", "deepspeed"})
+                jobs.push_back({c, system});
+
+        std::vector<CurveResult> curves(jobs.size());
+        ReplicaRunnerOptions ropts;
+        ropts.threads = threads;
+        ReplicaRunStats rstats = runReplicas(
+            static_cast<int>(jobs.size()),
+            [&](int i) {
+                const Job &j = jobs[static_cast<std::size_t>(i)];
+                curves[static_cast<std::size_t>(i)] =
+                    runCurve(j.config.model, j.config.groups,
+                             j.config.topo, j.system);
+            },
+            ropts);
+        std::printf("  (%zu curves on %d threads)\n", jobs.size(),
+                    rstats.threadsUsed);
+        for (const CurveResult &r : curves)
+            printCurve(r);
 
         // Quick tier (the ctest smoke): every point must hold the
         // strict tolerance. Full tier: speedup points stay strict;

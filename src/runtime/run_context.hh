@@ -161,12 +161,8 @@ class RunContext
             // A fault event can fire after the workload drains (the
             // injector cancels it, but the queue clock has already
             // advanced); the step ends when its last span does.
-            if (trace_.spanCount() > 0) {
-                double last = 0.0;
-                for (std::size_t i = 0; i < trace_.spanCount(); ++i)
-                    last = std::max(last, trace_.span(i).end);
-                stats.stepTime = last;
-            }
+            if (trace_.spanCount() > 0)
+                stats.stepTime = trace_.maxEnd();
             const FaultCounters &fc = faults_->counters();
             stats.faultFailures = fc.failures;
             stats.faultRetries = fc.retries;

@@ -1,11 +1,93 @@
 #include "simcore/event_queue.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/logging.hh"
 
 namespace mobius
 {
+
+namespace
+{
+
+/**
+ * EventId layout: low 32 bits = handle index + 1 (so kNoEvent = 0 is
+ * never a valid id), high 32 bits = the handle's generation at
+ * schedule() time. A handle's generation is bumped every time its
+ * event fires or is cancelled, which invalidates stale ids held by
+ * callers after the slot is recycled.
+ */
+EventId
+makeId(std::uint32_t handle, std::uint32_t gen)
+{
+    return (static_cast<EventId>(gen) << 32) |
+        (static_cast<EventId>(handle) + 1);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocHandle()
+{
+    if (!freeHandles_.empty()) {
+        std::uint32_t idx = freeHandles_.back();
+        freeHandles_.pop_back();
+        return idx;
+    }
+    handles_.push_back(Handle{});
+    return static_cast<std::uint32_t>(handles_.size() - 1);
+}
+
+void
+EventQueue::releaseHandle(std::uint32_t idx)
+{
+    handles_[idx].slot = -1;
+    ++handles_[idx].gen;
+    handles_[idx].fn = nullptr;
+    freeHandles_.push_back(idx);
+}
+
+void
+EventQueue::siftUp(std::size_t slot)
+{
+    Entry e = std::move(heap_[slot]);
+    while (slot > 0) {
+        std::size_t parent = (slot - 1) / 2;
+        if (!before(e, heap_[parent]))
+            break;
+        heap_[slot] = std::move(heap_[parent]);
+        handles_[heap_[slot].handle].slot =
+            static_cast<std::int32_t>(slot);
+        slot = parent;
+    }
+    heap_[slot] = std::move(e);
+    handles_[heap_[slot].handle].slot =
+        static_cast<std::int32_t>(slot);
+}
+
+void
+EventQueue::siftDown(std::size_t slot)
+{
+    const std::size_t n = heap_.size();
+    Entry e = std::move(heap_[slot]);
+    while (true) {
+        std::size_t child = slot * 2 + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], e))
+            break;
+        heap_[slot] = std::move(heap_[child]);
+        handles_[heap_[slot].handle].slot =
+            static_cast<std::int32_t>(slot);
+        slot = child;
+    }
+    heap_[slot] = std::move(e);
+    handles_[heap_[slot].handle].slot =
+        static_cast<std::int32_t>(slot);
+}
 
 EventId
 EventQueue::schedule(SimTime when, std::function<void()> fn)
@@ -20,33 +102,76 @@ EventQueue::schedule(SimTime when, std::function<void()> fn)
         maxDrift_ = std::max(maxDrift_, now_ - when);
         when = now_;
     }
-    Key key{when, nextSeq_++};
-    EventId id = key.seq;
-    events_.emplace(key, std::move(fn));
-    keys_.emplace(id, key);
+    std::uint32_t handle = allocHandle();
+    EventId id = makeId(handle, handles_[handle].gen);
+    handles_[handle].fn = std::move(fn);
+
+    Entry e;
+    e.when = when;
+    e.seq = nextSeq_++;
+    e.handle = handle;
+    heap_.push_back(e);
+    handles_[handle].slot =
+        static_cast<std::int32_t>(heap_.size() - 1);
+    siftUp(heap_.size() - 1);
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    auto it = keys_.find(id);
-    if (it == keys_.end())
+    std::uint32_t low = static_cast<std::uint32_t>(id);
+    if (low == 0)
         return false;
-    events_.erase(it->second);
-    keys_.erase(it);
+    std::uint32_t idx = low - 1;
+    if (idx >= handles_.size())
+        return false;
+    const Handle &h = handles_[idx];
+    if (h.gen != static_cast<std::uint32_t>(id >> 32) || h.slot < 0)
+        return false;
+
+    std::size_t slot = static_cast<std::size_t>(h.slot);
+    releaseHandle(idx);
+    std::size_t last = heap_.size() - 1;
+    if (slot != last) {
+        heap_[slot] = std::move(heap_[last]);
+        handles_[heap_[slot].handle].slot =
+            static_cast<std::int32_t>(slot);
+        heap_.pop_back();
+        // The relocated entry may order either way against the
+        // removed one's neighbours; one of the sifts is a no-op.
+        siftDown(slot);
+        siftUp(slot);
+    } else {
+        heap_.pop_back();
+    }
     return true;
+}
+
+std::function<void()>
+EventQueue::popTop()
+{
+    std::uint32_t handle = heap_.front().handle;
+    std::function<void()> fn = std::move(handles_[handle].fn);
+    releaseHandle(handle);
+    std::size_t last = heap_.size() - 1;
+    if (last > 0) {
+        heap_[0] = heap_[last];
+        handles_[heap_[0].handle].slot = 0;
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return fn;
 }
 
 void
 EventQueue::run()
 {
-    while (!events_.empty()) {
-        auto it = events_.begin();
-        now_ = it->first.when;
-        auto fn = std::move(it->second);
-        keys_.erase(it->first.seq);
-        events_.erase(it);
+    while (!heap_.empty()) {
+        now_ = heap_.front().when;
+        auto fn = popTop();
         ++executed_;
         fn();
     }
@@ -55,12 +180,9 @@ EventQueue::run()
 void
 EventQueue::runUntil(SimTime until)
 {
-    while (!events_.empty() && events_.begin()->first.when <= until) {
-        auto it = events_.begin();
-        now_ = it->first.when;
-        auto fn = std::move(it->second);
-        keys_.erase(it->first.seq);
-        events_.erase(it);
+    while (!heap_.empty() && heap_.front().when <= until) {
+        now_ = heap_.front().when;
+        auto fn = popTop();
         ++executed_;
         fn();
     }

@@ -22,18 +22,37 @@ TraceRecorder::intern(const std::string &s)
     return id;
 }
 
+void
+TraceRecorder::reserve(std::size_t spans, std::size_t name_bytes,
+                       std::size_t deps)
+{
+    spans_.reserve(spans);
+    nameArena_.reserve(name_bytes);
+    depArena_.reserve(deps);
+}
+
 SpanId
 TraceRecorder::record(TraceSpan span)
 {
-    // Large runs record hundreds of thousands of spans; grow in
-    // coarse steps from the start instead of doubling from 1.
+    // Large runs record hundreds of thousands of spans; grow the
+    // record array and both arenas in coarse steps from the start
+    // instead of doubling from 1.
     if (spans_.size() == spans_.capacity())
         spans_.reserve(spans_.empty() ? 1024 : spans_.size() * 2);
+    if (nameArena_.size() + span.name.size() > nameArena_.capacity())
+        nameArena_.reserve(std::max<std::size_t>(
+            16384, nameArena_.capacity() * 2));
+    if (depArena_.size() + span.deps.size() > depArena_.capacity())
+        depArena_.reserve(std::max<std::size_t>(
+            4096, depArena_.capacity() * 2));
 
     SpanRec rec;
     rec.track = intern(span.track);
     rec.category = intern(span.category);
-    rec.name = std::move(span.name);
+    rec.nameOff = static_cast<std::uint32_t>(nameArena_.size());
+    rec.nameLen = static_cast<std::uint32_t>(span.name.size());
+    nameArena_.insert(nameArena_.end(), span.name.begin(),
+                      span.name.end());
     rec.start = span.start;
     rec.end = span.end;
     rec.queuedAt = span.queuedAt;
@@ -43,13 +62,15 @@ TraceRecorder::record(TraceSpan span)
     rec.id = span.id == kNoSpan ? nextId_++ : span.id;
     if (span.id != kNoSpan && span.id >= nextId_)
         nextId_ = span.id + 1;
-    rec.deps.reserve(span.deps.size());
+    rec.depOff = static_cast<std::uint32_t>(depArena_.size());
     for (SpanId d : span.deps) {
-        if (d != kNoSpan)
-            rec.deps.push_back(d);
+        if (d != kNoSpan) {
+            depArena_.push_back(d);
+            ++rec.depCount;
+        }
     }
-    spans_.push_back(std::move(rec));
-    return spans_.back().id;
+    spans_.push_back(rec);
+    return rec.id;
 }
 
 void
@@ -66,7 +87,7 @@ TraceRecorder::materialise(const SpanRec &rec) const
 {
     TraceSpan s;
     s.track = strings_[rec.track];
-    s.name = rec.name;
+    s.name = std::string(nameOf(rec));
     s.category = strings_[rec.category];
     s.start = rec.start;
     s.end = rec.end;
@@ -75,7 +96,8 @@ TraceRecorder::materialise(const SpanRec &rec) const
     s.id = rec.id;
     s.gpu = rec.gpu;
     s.stage = rec.stage;
-    s.deps = rec.deps;
+    s.deps.assign(depArena_.begin() + rec.depOff,
+                  depArena_.begin() + rec.depOff + rec.depCount);
     return s;
 }
 
@@ -107,11 +129,24 @@ TraceRecorder::findSpan(SpanId id, TraceSpan &out) const
     return false;
 }
 
+SimTime
+TraceRecorder::maxEnd() const
+{
+    SimTime t = 0.0;
+    for (const auto &rec : spans_)
+        t = std::max(t, rec.end);
+    return t;
+}
+
 void
 TraceRecorder::clear()
 {
+    // Arenas keep their capacity: a recorder recycled across sweep
+    // replicas records the next run allocation-free.
     spans_.clear();
     counters_.clear();
+    nameArena_.clear();
+    depArena_.clear();
     strings_.clear();
     internIndex_.clear();
     nextId_ = 1;
@@ -141,7 +176,7 @@ TraceRecorder::named(const std::string &name) const
 {
     std::vector<TraceSpan> out;
     for (const auto &rec : spans_) {
-        if (rec.name == name)
+        if (nameOf(rec) == name)
             out.push_back(materialise(rec));
     }
     std::sort(out.begin(), out.end(),
@@ -155,7 +190,7 @@ namespace
 {
 
 std::string
-jsonEscape(const std::string &s)
+jsonEscape(std::string_view s)
 {
     std::string out;
     for (char c : s) {
@@ -206,7 +241,7 @@ TraceRecorder::toChromeJson(const std::string &metadata_json) const
         if (!first)
             os << ",";
         first = false;
-        os << "{\"name\":\"" << jsonEscape(rec.name)
+        os << "{\"name\":\"" << jsonEscape(nameOf(rec))
            << "\",\"cat\":\"" << jsonEscape(strings_[rec.category])
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
            << tids.at(rec.track) << ",\"ts\":" << rec.start * 1e6
@@ -234,7 +269,8 @@ TraceRecorder::toChromeJson(const std::string &metadata_json) const
         byId.emplace(rec.id, &rec);
     std::uint64_t edge = 1;
     for (const auto &rec : spans_) {
-        for (SpanId d : rec.deps) {
+        for (std::uint32_t k = 0; k < rec.depCount; ++k) {
+            SpanId d = depArena_[rec.depOff + k];
             auto it = byId.find(d);
             if (it == byId.end())
                 continue;
@@ -343,7 +379,7 @@ TraceRecorder::toAsciiGantt(int width) const
         int hi = static_cast<int>((rec.end - t0) / span *
                                   (width - 1));
         char mark = strings_[rec.category] == "compute" ? '#' : '=';
-        char head = rec.name.empty() ? mark : rec.name[0];
+        char head = rec.nameLen == 0 ? mark : nameOf(rec)[0];
         auto &row = rows[strings_[rec.track]];
         for (int i = lo; i <= hi && i < width; ++i)
             row[i] = i == lo ? head : mark;

@@ -33,6 +33,13 @@
  * 32-bit ids instead of two heap strings, which keeps large-run
  * traces from dominating simulator memory. The string API is
  * preserved on record and on export.
+ *
+ * Span storage is arena-backed: names live in one contiguous char
+ * arena and dependency lists in one contiguous SpanId arena, so the
+ * stored span record is a flat POD and record() performs no per-span
+ * heap allocation once the arenas are warm. Large sweeps can presize
+ * the arenas with reserve() and recycle a recorder across replicas
+ * with clear() (which keeps the arena capacity).
  */
 
 #ifndef MOBIUS_SIMCORE_TRACE_HH
@@ -41,6 +48,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -138,6 +146,15 @@ class TraceRecorder
     /** Record one counter sample. */
     void recordCounter(TraceCounter counter);
 
+    /**
+     * Pre-size the span store: capacity for @p spans records,
+     * @p name_bytes of span-name arena, and @p deps dependency-edge
+     * arena entries. Purely an allocation hint — recording past the
+     * reservation grows geometrically as usual.
+     */
+    void reserve(std::size_t spans, std::size_t name_bytes,
+                 std::size_t deps);
+
     /** Number of recorded spans. */
     std::size_t spanCount() const { return spans_.size(); }
 
@@ -152,6 +169,13 @@ class TraceRecorder
      * @return true and fill @p out when found.
      */
     bool findSpan(SpanId id, TraceSpan &out) const;
+
+    /**
+     * @return the latest end time over all recorded spans (0 when
+     *         empty) — the traced step's makespan, without
+     *         materialising any span.
+     */
+    SimTime maxEnd() const;
 
     /** All recorded counter samples, in recording order. */
     const std::vector<TraceCounter> &
@@ -200,12 +224,19 @@ class TraceRecorder
     std::string toAsciiGantt(int width = 72) const;
 
   private:
-    /** Compact stored form: strings replaced by intern ids. */
+    /**
+     * Compact stored form: a flat POD. Strings are intern ids, the
+     * name is an (offset, length) slice of nameArena_, and the
+     * dependency list an (offset, count) slice of depArena_.
+     */
     struct SpanRec
     {
         std::uint32_t track = 0;
         std::uint32_t category = 0;
-        std::string name;
+        std::uint32_t nameOff = 0;
+        std::uint32_t nameLen = 0;
+        std::uint32_t depOff = 0;
+        std::uint32_t depCount = 0;
         SimTime start = 0.0;
         SimTime end = 0.0;
         SimTime queuedAt = -1.0;
@@ -213,14 +244,24 @@ class TraceRecorder
         SpanId id = kNoSpan;
         std::int32_t gpu = -1;
         std::int32_t stage = -1;
-        std::vector<SpanId> deps;
     };
 
     std::uint32_t intern(const std::string &s);
     TraceSpan materialise(const SpanRec &rec) const;
+    /** The arena-backed name slice of @p rec. */
+    std::string_view
+    nameOf(const SpanRec &rec) const
+    {
+        return std::string_view(nameArena_.data() + rec.nameOff,
+                                rec.nameLen);
+    }
 
     std::vector<SpanRec> spans_;
     std::vector<TraceCounter> counters_;
+    /** All span names, back to back (see SpanRec::nameOff). */
+    std::vector<char> nameArena_;
+    /** All dependency edges, back to back (see SpanRec::depOff). */
+    std::vector<SpanId> depArena_;
     /** Interned track/category strings; index is the intern id. */
     std::vector<std::string> strings_;
     std::map<std::string, std::uint32_t> internIndex_;

@@ -1,5 +1,6 @@
 #include "xfer/fair_share.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "base/logging.hh"
@@ -20,90 +21,138 @@ maxMinFairRates(const std::vector<FairShareFlow> &flows,
                 FairShareStats *stats)
 {
     const std::size_t nf = flows.size();
+    const std::size_t np = pool_capacity.size();
     std::vector<double> rate(nf, 0.0);
-    std::vector<bool> frozen(nf, false);
-
-    std::vector<double> residual = pool_capacity;
-    std::size_t remaining = nf;
+    if (stats)
+        *stats = {};
+    if (nf == 0)
+        return rate;
 
     // A flow with no pools (e.g. a pure-DRAM move) is only bounded by
     // its own cap; treat "no cap" as effectively infinite.
     constexpr double kInf = std::numeric_limits<double>::infinity();
+    constexpr double kEps = 1e-6;
 
-    while (remaining > 0) {
-        if (stats)
-            ++stats->rounds;
-        // Find the bottleneck: the smallest achievable equal increment
-        // over all unfrozen flows, considering both pool residuals and
-        // per-flow caps.
-        double best = kInf;
-        for (std::size_t p = 0; p < residual.size(); ++p) {
-            int users = 0;
-            for (std::size_t f = 0; f < nf; ++f) {
-                if (frozen[f])
+    // Pool -> flows adjacency, built once; drives both the component
+    // search and the per-round bottleneck scan.
+    std::vector<std::vector<std::uint32_t>> poolFlows(np);
+    for (std::size_t f = 0; f < nf; ++f) {
+        for (int pool : flows[f].pools)
+            poolFlows[static_cast<std::size_t>(pool)].push_back(
+                static_cast<std::uint32_t>(f));
+    }
+
+    std::vector<double> residual = pool_capacity;
+    std::vector<int> users(np, 0);
+    std::vector<bool> frozen(nf, false);
+    std::vector<char> inComponent(nf, false);
+    std::vector<char> poolSeen(np, false);
+    std::vector<std::uint32_t> compFlows;
+    std::vector<int> compPools;
+
+    // Components in order of their smallest flow index; flows keep
+    // ascending (caller) order inside each component, so the
+    // waterfilling arithmetic is invariant to everything outside the
+    // component (the incremental-recompute contract, see header).
+    for (std::size_t seed = 0; seed < nf; ++seed) {
+        if (inComponent[seed])
+            continue;
+        compFlows.clear();
+        compPools.clear();
+        compFlows.push_back(static_cast<std::uint32_t>(seed));
+        inComponent[seed] = true;
+        for (std::size_t i = 0; i < compFlows.size(); ++i) {
+            for (int pool : flows[compFlows[i]].pools) {
+                std::size_t p = static_cast<std::size_t>(pool);
+                if (poolSeen[p])
                     continue;
-                for (int pool : flows[f].pools) {
-                    if (pool == static_cast<int>(p)) {
-                        ++users;
-                        break;
+                poolSeen[p] = true;
+                compPools.push_back(pool);
+                for (std::uint32_t g : poolFlows[p]) {
+                    if (!inComponent[g]) {
+                        inComponent[g] = true;
+                        compFlows.push_back(g);
                     }
                 }
             }
-            if (users > 0)
-                best = std::min(best, residual[p] / users);
         }
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (!frozen[f] && flows[f].rateCap > 0.0)
-                best = std::min(best, flows[f].rateCap - rate[f]);
-        }
+        std::sort(compFlows.begin(), compFlows.end());
+        std::sort(compPools.begin(), compPools.end());
+        if (stats)
+            ++stats->components;
 
-        if (best == kInf) {
-            // Every unfrozen flow is unconstrained; that can only
-            // happen for pool-less, cap-less flows, which make no
-            // physical sense here.
-            panic("max-min fairness: unconstrained flow");
+        // Waterfill this component: find the smallest achievable
+        // equal increment (pool residual / unfrozen users, or a
+        // flow's distance to its own cap), raise every unfrozen flow
+        // by it, freeze whoever hit a limit, repeat.
+        for (int pool : compPools) {
+            users[static_cast<std::size_t>(pool)] = static_cast<int>(
+                poolFlows[static_cast<std::size_t>(pool)].size());
         }
-        if (best < 0)
-            best = 0;
-
-        // Raise all unfrozen flows by the increment, then freeze any
-        // flow that hit a saturated pool or its own cap.
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (frozen[f])
-                continue;
-            rate[f] += best;
-            for (int pool : flows[f].pools)
-                residual[pool] -= best;
-        }
-
-        constexpr double kEps = 1e-6;
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (frozen[f])
-                continue;
-            bool hit = false;
-            bool byCap = false;
-            if (flows[f].rateCap > 0.0 &&
-                rate[f] >= flows[f].rateCap - kEps) {
-                hit = true;
-                byCap = true;
+        std::size_t remaining = compFlows.size();
+        while (remaining > 0) {
+            if (stats)
+                ++stats->rounds;
+            double best = kInf;
+            for (int pool : compPools) {
+                std::size_t p = static_cast<std::size_t>(pool);
+                if (users[p] > 0)
+                    best = std::min(best, residual[p] / users[p]);
             }
-            for (int pool : flows[f].pools) {
-                if (residual[pool] <= kEps * pool_capacity[pool]) {
+            for (std::uint32_t f : compFlows) {
+                if (!frozen[f] && flows[f].rateCap > 0.0)
+                    best = std::min(best,
+                                    flows[f].rateCap - rate[f]);
+            }
+
+            if (best == kInf) {
+                // Every unfrozen flow is unconstrained; that can
+                // only happen for pool-less, cap-less flows, which
+                // make no physical sense here.
+                panic("max-min fairness: unconstrained flow");
+            }
+            if (best < 0)
+                best = 0;
+
+            for (std::uint32_t f : compFlows) {
+                if (frozen[f])
+                    continue;
+                rate[f] += best;
+                for (int pool : flows[f].pools)
+                    residual[static_cast<std::size_t>(pool)] -= best;
+            }
+
+            for (std::uint32_t f : compFlows) {
+                if (frozen[f])
+                    continue;
+                bool hit = false;
+                bool byCap = false;
+                if (flows[f].rateCap > 0.0 &&
+                    rate[f] >= flows[f].rateCap - kEps) {
                     hit = true;
-                    break;
+                    byCap = true;
                 }
-            }
-            if (hit) {
-                frozen[f] = true;
-                --remaining;
-                if (stats && byCap)
-                    ++stats->cappedFlows;
+                for (int pool : flows[f].pools) {
+                    std::size_t p = static_cast<std::size_t>(pool);
+                    if (residual[p] <= kEps * pool_capacity[p]) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if (hit) {
+                    frozen[f] = true;
+                    --remaining;
+                    for (int pool : flows[f].pools)
+                        --users[static_cast<std::size_t>(pool)];
+                    if (stats && byCap)
+                        ++stats->cappedFlows;
+                }
             }
         }
     }
+
     if (stats) {
-        constexpr double kEps = 1e-6;
-        for (std::size_t p = 0; p < residual.size(); ++p) {
+        for (std::size_t p = 0; p < np; ++p) {
             if (pool_capacity[p] > 0.0 &&
                 residual[p] <= kEps * pool_capacity[p])
                 ++stats->saturatedPools;

@@ -9,6 +9,24 @@
  * repeats. This reproduces the root-complex contention behaviour the
  * paper profiles in §2.2/§4.2 (e.g. two GPUs under one root complex
  * each observing half the root complex's bandwidth).
+ *
+ * **Component decomposition.** The solver first splits the flow–pool
+ * bipartite graph into connected components (flows connected when
+ * they share a pool, directly or transitively) and waterfills each
+ * component independently. Max-min fairness is separable this way:
+ * the waterfilling rounds of one component never read or write
+ * another component's pools, so a component's rates depend *only* on
+ * its own flows, caps, and pool capacities — bit-for-bit, not just
+ * mathematically. That invariance is what the transfer engine's
+ * incremental recomputation relies on: when the active-flow set
+ * changes, re-solving just the affected component reproduces exactly
+ * the rates a full recomputation would assign (see
+ * transfer_engine.hh and DESIGN.md "Simulator performance model").
+ *
+ * Components are processed in order of their smallest flow index and
+ * flows keep their caller-given order inside a component, so results
+ * are deterministic and independent of how the caller discovered the
+ * component.
  */
 
 #ifndef MOBIUS_XFER_FAIR_SHARE_HH
@@ -32,6 +50,7 @@ struct FairShareStats
     int rounds = 0;          //!< freeze iterations executed
     int cappedFlows = 0;     //!< flows frozen by their own rate cap
     int saturatedPools = 0;  //!< pools driven to saturation
+    int components = 0;      //!< connected components waterfilled
 };
 
 /**
@@ -40,7 +59,7 @@ struct FairShareStats
  * @param flows          the active flows
  * @param pool_capacity  capacity of each pool id referenced by flows;
  *                       indexed by pool id (bytes/second)
- * @param stats          optional telemetry out-param
+ * @param stats          optional telemetry out-param (reset on entry)
  * @return per-flow rate in bytes/second, same order as @p flows
  */
 std::vector<double>

@@ -29,6 +29,9 @@ TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
             topo.link(l).capacity;
     }
     basePoolCapacity_ = poolCapacity_;
+    poolUsers_.resize(poolCapacity_.size());
+    poolMark_.resize(poolCapacity_.size(), 0);
+    flows_.reserve(64);
 
     if (metrics && metrics->enabled()) {
         mLinkBytes_.resize(static_cast<std::size_t>(topo.numLinks()));
@@ -44,6 +47,10 @@ TransferEngine::TransferEngine(EventQueue &queue, const Topology &topo,
         mFailed_ = &metrics->counter("xfer.flows.failed");
         mStalled_ = &metrics->counter("xfer.flows.stalled");
         mRecomputes_ = &metrics->counter("xfer.rate.recomputes");
+        mFlowsTouched_ =
+            &metrics->counter("xfer.rate.flows_touched");
+        mFlowsSkipped_ =
+            &metrics->counter("xfer.rate.flows_skipped");
         mBandwidth_ = &metrics->histogram("xfer.bandwidth");
         mFairShareRounds_ =
             &metrics->histogram("xfer.fair_share.rounds");
@@ -57,23 +64,14 @@ TransferEngine::setLinkCapacityFactor(int link, double factor)
         panic("setLinkCapacityFactor: no link %d", link);
     if (!(factor > 0.0))
         panic("link capacity factor must be > 0, got %g", factor);
+    std::vector<int> seeds;
     for (int d = 0; d < 2; ++d) {
         std::size_t pool = static_cast<std::size_t>(link) * 2 +
             static_cast<std::size_t>(d);
         poolCapacity_[pool] = basePoolCapacity_[pool] * factor;
+        seeds.push_back(static_cast<int>(pool));
     }
-    recomputeRates();
-}
-
-int
-TransferEngine::dataActiveFlows() const
-{
-    int n = 0;
-    for (const auto &[id, f] : flows_) {
-        if (f.state == FlowState::Moving)
-            ++n;
-    }
-    return n;
+    updateRates(seeds, 0);
 }
 
 FlowId
@@ -222,6 +220,25 @@ TransferEngine::beginSetup(Flow &flow)
 }
 
 void
+TransferEngine::addToPools(const Flow &flow)
+{
+    for (int pool : flow.pools)
+        poolUsers_[static_cast<std::size_t>(pool)].push_back(
+            flow.id);
+    ++movingCount_;
+}
+
+void
+TransferEngine::removeFromPools(const Flow &flow)
+{
+    for (int pool : flow.pools) {
+        auto &users = poolUsers_[static_cast<std::size_t>(pool)];
+        users.erase(std::find(users.begin(), users.end(), flow.id));
+    }
+    --movingCount_;
+}
+
+void
 TransferEngine::beginData(FlowId id)
 {
     Flow &flow = flows_.at(id);
@@ -229,21 +246,74 @@ TransferEngine::beginData(FlowId id)
     flow.pendingEvent = kNoEvent;
     flow.dataStart = queue_.now();
     flow.lastUpdate = queue_.now();
+    addToPools(flow);
     if (flow.remaining == 0) {
         finish(id);
         return;
     }
-    recomputeRates();
+    updateRates(flow.pools, id);
 }
 
 void
-TransferEngine::recomputeRates()
+TransferEngine::updateRates(const std::vector<int> &seed_pools,
+                            FlowId seed_flow)
 {
-    // Integrate progress of every moving flow since its last update.
-    std::vector<FlowId> moving;
-    for (auto &[id, f] : flows_) {
-        if (f.state != FlowState::Moving)
-            continue;
+    // Walk the connected component of moving flows reachable from
+    // the seeds through shared pools. Epoch stamps make the walk
+    // allocation-free; the result is sorted so the solver sees flows
+    // in submission order, exactly as a full recompute would.
+    ++walkEpoch_;
+    compFlows_.clear();
+    compPools_.clear();
+    auto visitPool = [this](int pool) {
+        std::size_t p = static_cast<std::size_t>(pool);
+        if (poolMark_[p] != walkEpoch_) {
+            poolMark_[p] = walkEpoch_;
+            compPools_.push_back(pool);
+        }
+    };
+    auto visitFlow = [this, &visitPool](Flow &f) {
+        if (f.mark != walkEpoch_) {
+            f.mark = walkEpoch_;
+            compFlows_.push_back(f.id);
+            for (int pool : f.pools)
+                visitPool(pool);
+        }
+    };
+    if (seed_flow != 0)
+        visitFlow(flows_.at(seed_flow));
+    for (int pool : seed_pools)
+        visitPool(pool);
+    for (std::size_t i = 0; i < compPools_.size(); ++i) {
+        auto &users =
+            poolUsers_[static_cast<std::size_t>(compPools_[i])];
+        for (FlowId fid : users)
+            visitFlow(flows_.at(fid));
+    }
+
+    if (movingCount_ > 0 || !compFlows_.empty()) {
+        ++fsActivity_.solves;
+        fsActivity_.flowsTouched += compFlows_.size();
+        fsActivity_.flowsSkipped +=
+            static_cast<std::uint64_t>(movingCount_) -
+            compFlows_.size();
+        if (mFlowsTouched_) {
+            mFlowsTouched_->add(
+                static_cast<double>(compFlows_.size()));
+            mFlowsSkipped_->add(static_cast<double>(
+                static_cast<std::uint64_t>(movingCount_) -
+                compFlows_.size()));
+        }
+    }
+    if (compFlows_.empty())
+        return;
+    std::sort(compFlows_.begin(), compFlows_.end());
+
+    // Integrate progress of every component flow since its last
+    // update. Untouched flows keep integrating at their unchanged
+    // rate; their scheduled completion stays exact.
+    for (FlowId fid : compFlows_) {
+        Flow &f = flows_.at(fid);
         double dt = queue_.now() - f.lastUpdate;
         if (dt > 0 && f.rate > 0) {
             double moved = f.rate * dt;
@@ -253,15 +323,13 @@ TransferEngine::recomputeRates()
                 f.remaining -= static_cast<Bytes>(moved);
         }
         f.lastUpdate = queue_.now();
-        moving.push_back(id);
     }
-    if (moving.empty())
-        return;
 
-    std::vector<FairShareFlow> fs(moving.size());
-    for (std::size_t i = 0; i < moving.size(); ++i) {
-        fs[i].pools = flows_.at(moving[i]).pools;
-        fs[i].rateCap = flows_.at(moving[i]).req.rateCap;
+    std::vector<FairShareFlow> fs(compFlows_.size());
+    for (std::size_t i = 0; i < compFlows_.size(); ++i) {
+        const Flow &f = flows_.at(compFlows_[i]);
+        fs[i].pools = f.pools;
+        fs[i].rateCap = f.req.rateCap;
     }
     FairShareStats fsStats;
     auto rates = maxMinFairRates(fs, poolCapacity_,
@@ -271,8 +339,8 @@ TransferEngine::recomputeRates()
         mFairShareRounds_->record(fsStats.rounds);
     }
 
-    for (std::size_t i = 0; i < moving.size(); ++i) {
-        Flow &f = flows_.at(moving[i]);
+    for (std::size_t i = 0; i < compFlows_.size(); ++i) {
+        Flow &f = flows_.at(compFlows_[i]);
         f.rate = rates[i];
         if (f.pendingEvent != kNoEvent) {
             queue_.cancel(f.pendingEvent);
@@ -285,6 +353,39 @@ TransferEngine::recomputeRates()
         FlowId id = f.id;
         f.pendingEvent =
             queue_.scheduleAfter(eta, [this, id] { finish(id); });
+    }
+
+    if (cfg_.fairShareCrossCheck)
+        crossCheckRates();
+}
+
+void
+TransferEngine::crossCheckRates()
+{
+    ++fsActivity_.crossChecks;
+    std::vector<FlowId> moving;
+    moving.reserve(static_cast<std::size_t>(movingCount_));
+    for (const auto &[id, f] : flows_) {
+        if (f.state == FlowState::Moving)
+            moving.push_back(id);
+    }
+    std::sort(moving.begin(), moving.end());
+
+    std::vector<FairShareFlow> fs(moving.size());
+    for (std::size_t i = 0; i < moving.size(); ++i) {
+        const Flow &f = flows_.at(moving[i]);
+        fs[i].pools = f.pools;
+        fs[i].rateCap = f.req.rateCap;
+    }
+    auto rates = maxMinFairRates(fs, poolCapacity_, nullptr);
+    for (std::size_t i = 0; i < moving.size(); ++i) {
+        const Flow &f = flows_.at(moving[i]);
+        if (rates[i] != f.rate) {
+            panic("fair-share cross-check: flow %llu has rate "
+                  "%.17g, full recompute says %.17g",
+                  static_cast<unsigned long long>(f.id), f.rate,
+                  rates[i]);
+        }
     }
 }
 
@@ -386,12 +487,14 @@ TransferEngine::finish(FlowId id)
         engines_[e].current = 0;
     }
 
+    removeFromPools(flow);
+    std::vector<int> freed_pools = std::move(flow.pools);
     auto on_complete = flow.req.willFail
         ? std::move(flow.req.onFail)
         : std::move(flow.req.onComplete);
     flows_.erase(id);
 
-    recomputeRates();
+    updateRates(freed_pools, 0);
     tryStartFlows();
 
     if (on_complete)

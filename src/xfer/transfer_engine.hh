@@ -17,6 +17,19 @@
  *    through DRAM (chunked staging: a single cut-through flow whose
  *    route covers both legs), matching §2.2;
  *  - every transfer pays a fixed setup latency (driver/launch cost).
+ *
+ * **Incremental fair-share recomputation.** A change to the active
+ * flow set (a flow starts moving, finishes, or a link's capacity is
+ * rescaled) can only move the rates of flows that share a pool with
+ * the change — directly or transitively. The engine keeps a
+ * pool -> moving-flows index, walks the connected component of the
+ * change, and re-solves max-min fairness for *that component only*:
+ * untouched flows keep their rate, their progress integral, and their
+ * already-scheduled completion event. Because the solver itself
+ * waterfills per connected component (fair_share.hh), the incremental
+ * rates are bit-identical to what a full recomputation would produce;
+ * TransferEngineConfig::fairShareCrossCheck re-runs the full solve
+ * after every update and panics on any divergence.
  */
 
 #ifndef MOBIUS_XFER_TRANSFER_ENGINE_HH
@@ -25,7 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "hw/topology.hh"
@@ -76,6 +89,28 @@ struct TransferRequest
 struct TransferEngineConfig
 {
     double setupLatency = 30e-6;  //!< seconds before data moves
+    /**
+     * Verification mode: after every incremental fair-share update,
+     * re-solve *all* moving flows from scratch and panic unless
+     * every stored rate matches the full solution exactly (==, not
+     * within a tolerance). Costs a full recompute per change; meant
+     * for tests and the bench_simcore quick gate, not production.
+     */
+    bool fairShareCrossCheck = false;
+};
+
+/**
+ * Always-on counters for the incremental fair-share machinery. A
+ * "solve" is one reaction to an active-set change; each solve touches
+ * the flows in the affected component and skips every other moving
+ * flow (work a full recomputation would have redone).
+ */
+struct FairShareActivity
+{
+    std::uint64_t solves = 0;       //!< incremental updates performed
+    std::uint64_t flowsTouched = 0; //!< component flows re-solved
+    std::uint64_t flowsSkipped = 0; //!< moving flows left untouched
+    std::uint64_t crossChecks = 0;  //!< full-solve verifications run
 };
 
 /** Schedules transfers over a Topology on an EventQueue. */
@@ -94,10 +129,11 @@ class TransferEngine
     /**
      * Rescale link @p link's capacity (both directions) to
      * @p factor x its construction-time value and re-solve the
-     * fair-share rates of every in-flight flow. The fault injector's
-     * bandwidth-degradation hook: factors compose by overwriting
-     * (pass the product of active degradations), and factor 1
-     * restores the nominal capacity.
+     * fair-share rates of every in-flight flow sharing a pool with
+     * it (transitively). The fault injector's bandwidth-degradation
+     * hook: factors compose by overwriting (pass the product of
+     * active degradations), and factor 1 restores the nominal
+     * capacity.
      */
     void setLinkCapacityFactor(int link, double factor);
 
@@ -105,12 +141,19 @@ class TransferEngine
     bool idle() const { return flows_.empty(); }
 
     /** @return number of flows currently moving data. */
-    int dataActiveFlows() const;
+    int dataActiveFlows() const { return movingCount_; }
 
     TrafficStats &stats() { return stats_; }
     const TrafficStats &stats() const { return stats_; }
 
     const Topology &topo() const { return topo_; }
+
+    /** Incremental fair-share work counters (always maintained). */
+    const FairShareActivity &
+    fairShareActivity() const
+    {
+        return fsActivity_;
+    }
 
     /**
      * Id of the most recently finished transfer's span (kNoSpan
@@ -138,6 +181,7 @@ class TransferEngine
         SimTime lastUpdate = 0.0;
         EventId pendingEvent = kNoEvent;
         std::uint64_t seq = 0;
+        std::uint64_t mark = 0;    //!< component-walk epoch stamp
     };
 
     struct CopyEngine
@@ -171,7 +215,24 @@ class TransferEngine
     void beginSetup(Flow &flow);
     void beginData(FlowId id);
     void finish(FlowId id);
-    void recomputeRates();
+
+    /** Register @p flow as moving in the pool -> flows index. */
+    void addToPools(const Flow &flow);
+    /** Remove @p flow from the pool -> flows index. */
+    void removeFromPools(const Flow &flow);
+
+    /**
+     * React to an active-set change: walk the connected component of
+     * moving flows reachable from @p seed_pools (and @p seed_flow,
+     * when nonzero), integrate their progress, re-solve their
+     * max-min fair rates, and reschedule their completion events.
+     * Every other moving flow is left untouched.
+     */
+    void updateRates(const std::vector<int> &seed_pools,
+                     FlowId seed_flow);
+
+    /** Full-solve verification of every stored rate (cross-check). */
+    void crossCheckRates();
 
     EventQueue &queue_;
     const Topology &topo_;
@@ -180,10 +241,20 @@ class TransferEngine
     TraceRecorder *trace_;
     TrafficStats stats_;
 
-    std::map<FlowId, Flow> flows_;
+    std::unordered_map<FlowId, Flow> flows_;
     std::vector<CopyEngine> engines_;
     std::vector<double> poolCapacity_;
     std::vector<double> basePoolCapacity_; //!< nominal (factor 1)
+    /** Moving flows per pool id (the component-walk adjacency). */
+    std::vector<std::vector<FlowId>> poolUsers_;
+    /** Per-pool epoch stamps for the component walk. */
+    std::vector<std::uint64_t> poolMark_;
+    std::uint64_t walkEpoch_ = 0;
+    int movingCount_ = 0;
+    FairShareActivity fsActivity_;
+    /** Scratch for updateRates (kept to avoid re-allocation). */
+    std::vector<FlowId> compFlows_;
+    std::vector<int> compPools_;
     FlowId nextId_ = 1;
     std::uint64_t nextSeq_ = 1;
     SpanId lastSpan_ = kNoSpan;
@@ -202,6 +273,8 @@ class TransferEngine
     Counter *mFailed_ = nullptr;
     Counter *mStalled_ = nullptr;
     Counter *mRecomputes_ = nullptr;
+    Counter *mFlowsTouched_ = nullptr;
+    Counter *mFlowsSkipped_ = nullptr;
     Histogram *mBandwidth_ = nullptr;
     Histogram *mFairShareRounds_ = nullptr;
     int waitingCount_ = 0;  //!< flows submitted but not yet started

@@ -140,5 +140,187 @@ TEST_P(FairShareRandom, CapacityAndEfficiencyInvariants)
 INSTANTIATE_TEST_SUITE_P(Seeds, FairShareRandom,
                          ::testing::Range(0, 25));
 
+TEST(FairShare, ReportsComponentCount)
+{
+    // Two disjoint links, two flows each -> two components; a flow
+    // bridging both links merges them into one.
+    std::vector<FairShareFlow> flows{
+        {{0}, 0.0}, {{0}, 0.0}, {{1}, 0.0}, {{1}, 0.0}};
+    FairShareStats stats;
+    maxMinFairRates(flows, {10.0, 4.0}, &stats);
+    EXPECT_EQ(stats.components, 2);
+
+    flows.push_back({{0, 1}, 0.0});
+    maxMinFairRates(flows, {10.0, 4.0}, &stats);
+    EXPECT_EQ(stats.components, 1);
+}
+
+/**
+ * The decomposition invariant the incremental transfer engine builds
+ * on: a component's rates depend only on its own flows — solving the
+ * whole problem and solving one component in isolation must agree
+ * *exactly* (==), not merely within a tolerance.
+ */
+TEST_P(FairShareRandom, ComponentSolvesMatchFullSolveExactly)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    const int npools = 4 + static_cast<int>(rng.below(6));
+    std::vector<double> cap;
+    for (int p = 0; p < npools; ++p)
+        cap.push_back(rng.uniform(1.0, 20.0));
+
+    const int nflows = 2 + static_cast<int>(rng.below(12));
+    std::vector<FairShareFlow> flows;
+    for (int f = 0; f < nflows; ++f) {
+        FairShareFlow fl;
+        int hops = 1 + static_cast<int>(rng.below(3));
+        for (int h = 0; h < hops; ++h) {
+            int p = static_cast<int>(rng.below(npools));
+            bool dup = false;
+            for (int q : fl.pools)
+                dup |= (q == p);
+            if (!dup)
+                fl.pools.push_back(p);
+        }
+        if (rng.below(4) == 0)
+            fl.rateCap = rng.uniform(0.5, 10.0);
+        flows.push_back(fl);
+    }
+    auto full = maxMinFairRates(flows, cap);
+
+    // Discover components the same way the transfer engine does:
+    // BFS over "shares a pool".
+    std::vector<int> comp(flows.size(), -1);
+    int ncomp = 0;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (comp[f] >= 0)
+            continue;
+        int c = ncomp++;
+        std::vector<std::size_t> work{f};
+        comp[f] = c;
+        while (!work.empty()) {
+            std::size_t cur = work.back();
+            work.pop_back();
+            for (std::size_t g = 0; g < flows.size(); ++g) {
+                if (comp[g] >= 0)
+                    continue;
+                bool shares = false;
+                for (int p : flows[cur].pools)
+                    for (int q : flows[g].pools)
+                        shares |= (p == q);
+                if (shares) {
+                    comp[g] = c;
+                    work.push_back(g);
+                }
+            }
+        }
+    }
+
+    // Re-solve each component alone (same flow order, same pool ids)
+    // and demand bitwise agreement with the full solve.
+    for (int c = 0; c < ncomp; ++c) {
+        std::vector<FairShareFlow> sub;
+        std::vector<std::size_t> idx;
+        for (std::size_t f = 0; f < flows.size(); ++f) {
+            if (comp[f] == c) {
+                sub.push_back(flows[f]);
+                idx.push_back(f);
+            }
+        }
+        auto part = maxMinFairRates(sub, cap);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            EXPECT_EQ(part[i], full[idx[i]])
+                << "flow " << idx[i] << " component " << c;
+    }
+}
+
+/**
+ * Randomized add/remove churn on a flow set, re-solved after every
+ * change. Simulating the engine's incremental update — re-solving
+ * only the changed flow's component and keeping every other rate —
+ * must exactly match a from-scratch solve of the whole set at every
+ * step.
+ */
+TEST_P(FairShareRandom, IncrementalChurnMatchesFullRecompute)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+    const int npools = 3 + static_cast<int>(rng.below(5));
+    std::vector<double> cap;
+    for (int p = 0; p < npools; ++p)
+        cap.push_back(rng.uniform(1.0, 20.0));
+
+    std::vector<FairShareFlow> active;
+    std::vector<double> rates; // maintained incrementally
+    for (int step = 0; step < 40; ++step) {
+        std::vector<int> changed_pools;
+        if (active.empty() || rng.below(2) == 0) {
+            FairShareFlow fl;
+            int hops = 1 + static_cast<int>(rng.below(3));
+            for (int h = 0; h < hops; ++h) {
+                int p = static_cast<int>(rng.below(npools));
+                bool dup = false;
+                for (int q : fl.pools)
+                    dup |= (q == p);
+                if (!dup)
+                    fl.pools.push_back(p);
+            }
+            if (rng.below(5) == 0)
+                fl.rateCap = rng.uniform(0.5, 10.0);
+            changed_pools = fl.pools;
+            active.push_back(fl);
+            rates.push_back(0.0);
+        } else {
+            std::size_t victim = rng.below(active.size());
+            changed_pools = active[victim].pools;
+            active.erase(active.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+            rates.erase(rates.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+        }
+
+        // Incremental update: BFS the affected component from the
+        // changed pools, re-solve those flows alone, splice their
+        // rates in; everything else keeps its stored rate.
+        std::vector<bool> touched(active.size(), false);
+        std::vector<int> pool_seen(npools, 0);
+        for (int p : changed_pools)
+            pool_seen[static_cast<std::size_t>(p)] = 1;
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (std::size_t f = 0; f < active.size(); ++f) {
+                if (touched[f])
+                    continue;
+                bool hit = false;
+                for (int p : active[f].pools)
+                    hit |= pool_seen[static_cast<std::size_t>(p)] != 0;
+                if (hit) {
+                    touched[f] = true;
+                    grew = true;
+                    for (int p : active[f].pools)
+                        pool_seen[static_cast<std::size_t>(p)] = 1;
+                }
+            }
+        }
+        std::vector<FairShareFlow> sub;
+        std::vector<std::size_t> idx;
+        for (std::size_t f = 0; f < active.size(); ++f) {
+            if (touched[f]) {
+                sub.push_back(active[f]);
+                idx.push_back(f);
+            }
+        }
+        auto part = maxMinFairRates(sub, cap);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            rates[idx[i]] = part[i];
+
+        auto full = maxMinFairRates(active, cap);
+        ASSERT_EQ(full.size(), rates.size());
+        for (std::size_t f = 0; f < full.size(); ++f)
+            EXPECT_EQ(rates[f], full[f])
+                << "step " << step << " flow " << f;
+    }
+}
+
 } // namespace
 } // namespace mobius

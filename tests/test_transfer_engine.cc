@@ -308,6 +308,89 @@ TEST_F(TransferEngineTest, NvlinkPeerTransferFast)
     EXPECT_NEAR(finish, expect, expect * 1e-6);
 }
 
+TEST_F(TransferEngineTest, IncrementalSkipsDisjointFlows)
+{
+    // GPUs 0 (rc0) and 2 (rc1) share no pools: starting/finishing
+    // one must re-solve only its own component and skip the other.
+    int done = 0;
+    for (int g : {0, 2}) {
+        TransferRequest req;
+        req.src = Endpoint::dram();
+        req.dst = Endpoint::gpuAt(g);
+        req.bytes = 1 * GiB;
+        req.onComplete = [&] { ++done; };
+        engine_.submit(req);
+    }
+    queue_.run();
+    EXPECT_EQ(done, 2);
+    const FairShareActivity &a = engine_.fairShareActivity();
+    EXPECT_GE(a.solves, 2u);
+    EXPECT_GT(a.flowsSkipped, 0u);
+    EXPECT_EQ(a.crossChecks, 0u); // mode off by default
+}
+
+/**
+ * A contended mix — shared root complex, opposite directions, a
+ * staged GPU-to-GPU flow, staggered submissions, and a mid-flight
+ * link-capacity change — on one engine. @return every completion
+ * time, in order, plus the engine's fair-share telemetry.
+ */
+std::pair<std::vector<double>, FairShareActivity>
+runContendedMix(bool cross_check)
+{
+    EventQueue q;
+    Server server = makeCommodityServer({2, 2});
+    UsageTracker usage(q, server.topo.numGpus());
+    TransferEngineConfig c;
+    c.setupLatency = 0.0;
+    c.fairShareCrossCheck = cross_check;
+    TransferEngine eng(q, server.topo, &usage, c);
+
+    std::vector<double> done;
+    auto submitAt = [&](double at, Endpoint src, Endpoint dst,
+                        Bytes bytes) {
+        q.schedule(at, [&eng, &q, &done, src, dst, bytes] {
+            TransferRequest req;
+            req.src = src;
+            req.dst = dst;
+            req.bytes = bytes;
+            req.onComplete = [&] { done.push_back(q.now()); };
+            eng.submit(req);
+        });
+    };
+    submitAt(0.0, Endpoint::dram(), Endpoint::gpuAt(0), 2 * GiB);
+    submitAt(0.01, Endpoint::dram(), Endpoint::gpuAt(1), 1 * GiB);
+    submitAt(0.02, Endpoint::gpuAt(0), Endpoint::dram(), 1 * GiB);
+    submitAt(0.03, Endpoint::dram(), Endpoint::gpuAt(2), 2 * GiB);
+    submitAt(0.04, Endpoint::gpuAt(1), Endpoint::gpuAt(3),
+             1 * GiB / 2);
+    // A fault-style bandwidth degradation and its recovery, while
+    // flows are in flight.
+    q.schedule(0.05, [&eng] { eng.setLinkCapacityFactor(0, 0.5); });
+    q.schedule(0.10, [&eng] { eng.setLinkCapacityFactor(0, 1.0); });
+    q.run();
+    return {done, eng.fairShareActivity()};
+}
+
+TEST(TransferEngineCrossCheck, ContendedMixSurvivesAndMatches)
+{
+    // The cross-checked run re-solves everything from scratch after
+    // every incremental update and panics on any divergence — so
+    // completing at all is the invariant check. Completion times
+    // must also be bit-identical with the unchecked engine.
+    auto plain = runContendedMix(false);
+    auto checked = runContendedMix(true);
+    ASSERT_EQ(plain.first.size(), 5u);
+    ASSERT_EQ(checked.first.size(), plain.first.size());
+    for (std::size_t i = 0; i < plain.first.size(); ++i)
+        EXPECT_EQ(checked.first[i], plain.first[i]) << "flow " << i;
+    EXPECT_GT(checked.second.crossChecks, 0u);
+    EXPECT_EQ(plain.second.crossChecks, 0u);
+    EXPECT_EQ(checked.second.solves, plain.second.solves);
+    EXPECT_EQ(checked.second.flowsTouched,
+              plain.second.flowsTouched);
+}
+
 TEST_F(TransferEngineTest, ComputeEngineFifoAndBusyTime)
 {
     ComputeEngine compute(queue_, nullptr, 0);

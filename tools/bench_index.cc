@@ -9,10 +9,11 @@
  *
  * Each bench binary (bench/) writes a BENCH_<name>.json whose
  * top-level scalar members are its headline numbers (step times,
- * speedups, sensitivities); nested arrays/objects hold the detail.
- * This tool collects exactly those scalars, so the index stays small
- * and diffable run-to-run. The index file itself is excluded from
- * the scan.
+ * speedups, sensitivities — e.g. BENCH_simcore.json's events/sec,
+ * queue speedup, fair-share skip fraction, and sims/sec per thread
+ * width); nested arrays/objects hold the detail. This tool collects
+ * exactly those scalars, so the index stays small and diffable
+ * run-to-run. The index file itself is excluded from the scan.
  *
  * Options:
  *   --dir PATH   directory to scan (default ".")
