@@ -5,6 +5,11 @@
  * p3.8xlarge pricing) and the commodity 3090-Ti server. 8B and 15B
  * models with microbatch size 2.
  *
+ * The cells are fleet jobs: each (model, server, system) run is a
+ * fleet JobSpec executed by fleet/job.hh simulateJobStep() — the
+ * same description struct and step path bench_fleet drives at
+ * scale, so this figure and the fleet bench cannot drift apart.
+ *
  * Expected shape: both systems speed up on the DC server; DeepSpeed
  * gains more (its all-to-all collectives ride NVLink) and beats
  * Mobius there; Mobius on the commodity box trades moderately more
@@ -12,6 +17,8 @@
  */
 
 #include "bench_util.hh"
+
+#include "fleet/job.hh"
 
 using namespace mobius;
 
@@ -32,19 +39,28 @@ main()
     {
         double t, price;
     };
-    auto run = [&](const GptConfig &cfg, const Server &server,
-                   bool is_mobius) {
-        auto r = is_mobius ? bench::runMobius(cfg, server, 2)
-                           : bench::runDeepSpeed(cfg, server, 2);
-        return Cell{r.stats.stepTime,
-                    r.stats.stepTime / 3600.0 *
-                        server.dollarsPerHour};
+    PlanCache cache;
+    auto run = [&](const GptConfig &cfg, bool on_dc,
+                   JobSystem system) {
+        JobSpec spec;
+        spec.model = cfg;
+        spec.system = system;
+        spec.dataCenter = on_dc;
+        spec.groups = on_dc ? std::vector<int>{4}
+                            : std::vector<int>{2, 2};
+        spec.microbatchSize = 2;
+        JobStepResult r = simulateJobStep(spec, &cache);
+        double price = r.stats.stepTime / 3600.0 *
+            buildJobServer(spec).dollarsPerHour;
+        return Cell{r.stats.stepTime, price};
     };
     std::vector<std::vector<Cell>> cells;
     for (const auto &cfg : {gpt8b(), gpt15b()}) {
         std::vector<Cell> row{
-            run(cfg, dc, false), run(cfg, com, false),
-            run(cfg, dc, true), run(cfg, com, true)};
+            run(cfg, true, JobSystem::DeepSpeed),
+            run(cfg, false, JobSystem::DeepSpeed),
+            run(cfg, true, JobSystem::Mobius),
+            run(cfg, false, JobSystem::Mobius)};
         std::printf("%-10s %13.2fs %11.2fs %13.2fs %11.2fs\n",
                     cfg.name.c_str(), row[0].t, row[1].t, row[2].t,
                     row[3].t);

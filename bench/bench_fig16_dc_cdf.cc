@@ -4,6 +4,10 @@
  * server (NVLink flows excluded), DeepSpeed vs Mobius, 8B and 15B
  * models with microbatch size 2.
  *
+ * Each cell is a fleet JobSpec run through fleet/job.hh
+ * simulateJobStep() — the same job description bench_fleet drives
+ * at scale (see bench_fig15_datacenter.cc).
+ *
  * Expected shape: the contention gap between the systems narrows
  * (DeepSpeed's collectives moved to NVLink), but Mobius still shows
  * less host-link contention because fewer stage transfers coincide.
@@ -11,19 +15,39 @@
 
 #include "bench_util.hh"
 
+#include "fleet/job.hh"
+
 using namespace mobius;
+
+namespace
+{
+
+/** Step stats of one DC fleet job (they carry the traffic CDF). */
+StepStats
+runDcJob(const GptConfig &cfg, JobSystem system, PlanCache &cache)
+{
+    JobSpec spec;
+    spec.model = cfg;
+    spec.system = system;
+    spec.dataCenter = true;
+    spec.groups = {4};
+    spec.microbatchSize = 2;
+    return simulateJobStep(spec, &cache).stats;
+}
+
+} // namespace
 
 int
 main()
 {
     bench::section("Figure 16: GPU-CPU bandwidth CDF on DC server");
-    Server dc = makeDataCenterServer(4);
+    PlanCache cache;
     for (const auto &cfg : {gpt8b(), gpt15b()}) {
         std::printf("\n--- %s ---\n", cfg.name.c_str());
-        auto ds = bench::runDeepSpeed(cfg, dc, 2);
-        auto mob = bench::runMobius(cfg, dc, 2);
-        auto ds_host = bench::hostSamples(ds.stats);
-        auto mob_host = bench::hostSamples(mob.stats);
+        StepStats ds = runDcJob(cfg, JobSystem::DeepSpeed, cache);
+        StepStats mob = runDcJob(cfg, JobSystem::Mobius, cache);
+        auto ds_host = bench::hostSamples(ds);
+        auto mob_host = bench::hostSamples(mob);
         bench::printCdf("DeepSpeed (host flows)", ds_host);
         bench::printCdf("Mobius    (host flows)", mob_host);
 

@@ -312,8 +312,7 @@ main(int argc, char **argv)
         const bool quick = args.has("quick");
         const std::string out =
             args.get("out", "BENCH_resilience.json");
-        const int threads =
-            static_cast<int>(args.getInt("threads", 0));
+        const int threads = bench::threadsArg(args);
         args.rejectUnused();
 
         bench::section("Resilience: goodput under transient faults, "
@@ -344,19 +343,13 @@ main(int argc, char **argv)
                 jobs.push_back({c, system});
 
         std::vector<GoodputCurve> curves(jobs.size());
-        ReplicaRunnerOptions ropts;
-        ropts.threads = threads;
-        ReplicaRunStats rstats = runReplicas(
-            static_cast<int>(jobs.size()),
-            [&](int i) {
+        bench::runParallel(
+            jobs.size(), threads, "curves", [&](int i) {
                 const Job &j = jobs[static_cast<std::size_t>(i)];
                 curves[static_cast<std::size_t>(i)] =
                     runGoodputCurve(j.config.model, j.config.groups,
                                     j.config.topo, j.system);
-            },
-            ropts);
-        std::printf("  (%zu curves on %d threads)\n", jobs.size(),
-                    rstats.threadsUsed);
+            });
         for (const GoodputCurve &r : curves)
             printGoodputCurve(r);
 

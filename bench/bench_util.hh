@@ -9,13 +9,47 @@
 #define MOBIUS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "base/args.hh"
 #include "runtime/api.hh"
+#include "simcore/replica_runner.hh"
 
 namespace mobius::bench
 {
+
+/**
+ * The shared `--threads N` flag (0 = hardware concurrency),
+ * identical across every parallel bench harness.
+ */
+inline int
+threadsArg(const Args &args)
+{
+    return static_cast<int>(args.getInt("threads", 0));
+}
+
+/**
+ * Fan @p body over [0, count) on a runReplicas() pool of
+ * @p threads workers and print the standard one-line width report
+ * ("(N curves on T threads)"). Callers keep results in per-index
+ * slots and reduce after this returns, in index order — the
+ * runReplicas() determinism contract.
+ * @return the worker count actually used.
+ */
+inline int
+runParallel(std::size_t count, int threads, const char *what,
+            const std::function<void(int)> &body)
+{
+    ReplicaRunnerOptions ropts;
+    ropts.threads = threads;
+    ReplicaRunStats rstats =
+        runReplicas(static_cast<int>(count), body, ropts);
+    std::printf("  (%zu %s on %d threads)\n", count, what,
+                rstats.threadsUsed);
+    return rstats.threadsUsed;
+}
 
 /** Print a figure/table banner. */
 inline void

@@ -182,8 +182,7 @@ main(int argc, char **argv)
         Args args(argc, argv);
         const bool quick = args.has("quick");
         const std::string out = args.get("out", "BENCH_whatif.json");
-        const int threads =
-            static_cast<int>(args.getInt("threads", 0));
+        const int threads = bench::threadsArg(args);
         args.rejectUnused();
 
         bench::section("What-if: rc0 bandwidth sensitivity, "
@@ -216,19 +215,16 @@ main(int argc, char **argv)
                 jobs.push_back({c, system});
 
         std::vector<CurveResult> curves(jobs.size());
-        ReplicaRunnerOptions ropts;
-        ropts.threads = threads;
-        ReplicaRunStats rstats = runReplicas(
-            static_cast<int>(jobs.size()),
-            [&](int i) {
-                const Job &j = jobs[static_cast<std::size_t>(i)];
-                curves[static_cast<std::size_t>(i)] =
-                    runCurve(j.config.model, j.config.groups,
-                             j.config.topo, j.system);
-            },
-            ropts);
-        std::printf("  (%zu curves on %d threads)\n", jobs.size(),
-                    rstats.threadsUsed);
+        bench::runParallel(jobs.size(), threads, "curves",
+                           [&](int i) {
+                               const Job &j = jobs
+                                   [static_cast<std::size_t>(i)];
+                               curves[static_cast<std::size_t>(i)] =
+                                   runCurve(j.config.model,
+                                            j.config.groups,
+                                            j.config.topo,
+                                            j.system);
+                           });
         for (const CurveResult &r : curves)
             printCurve(r);
 

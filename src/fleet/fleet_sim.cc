@@ -1,0 +1,377 @@
+#include "fleet/fleet_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/job_pump.hh"
+
+namespace mobius
+{
+
+namespace
+{
+
+/** An empty inventory means one default commodity machine. */
+std::vector<FleetServerDesc>
+orDefaultServers(std::vector<FleetServerDesc> servers)
+{
+    if (servers.empty())
+        servers.push_back(FleetServerDesc{});
+    return servers;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnv64(std::uint64_t &h, std::uint64_t v)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvDouble(std::uint64_t &h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnv64(h, bits);
+}
+
+} // namespace
+
+FleetSim::FleetSim(FleetOptions opts)
+    : opts_([&opts] {
+          opts.servers = orDefaultServers(std::move(opts.servers));
+          return std::move(opts);
+      }()),
+      scheduler_(opts_.servers,
+                 FleetScheduler::Options{opts_.backfill,
+                                         opts_.preemption})
+{}
+
+int
+FleetSim::submit(JobSpec spec)
+{
+    if (ran_)
+        fatal("FleetSim: submit after run()");
+    if (spec.steps < 1)
+        fatal("job needs at least one step (got %d)", spec.steps);
+    if (spec.arrival < 0.0)
+        fatal("job arrival must be >= 0 (got %g)", spec.arrival);
+    if (!scheduler_.fits(spec.serverClass))
+        fatal("job requests unknown server class '%s'",
+              spec.serverClass.c_str());
+    // The server class is the single source of truth for machine
+    // shape: the job simulates on exactly the machine it will be
+    // placed on, so the spec's own shape fields are overwritten.
+    for (const auto &desc : opts_.servers) {
+        if (desc.klass == spec.serverClass) {
+            spec.groups = desc.groups;
+            spec.dataCenter = desc.dataCenter;
+            break;
+        }
+    }
+    spec.id = static_cast<int>(jobs_.size());
+    if (spec.name.empty())
+        spec.name = strfmt("job%d", spec.id);
+    jobs_.push_back(std::move(spec));
+    return jobs_.back().id;
+}
+
+int
+FleetSim::submitPoisson(const JobSpec &prototype, int count,
+                        double jobs_per_second, std::uint64_t seed)
+{
+    if (count <= 0)
+        return static_cast<int>(jobs_.size());
+    if (jobs_per_second <= 0.0)
+        fatal("Poisson arrival rate must be positive (got %g)",
+              jobs_per_second);
+    Rng rng(seed);
+    double t = prototype.arrival;
+    int first = -1;
+    for (int i = 0; i < count; ++i) {
+        // Exponential inter-arrival gap: -ln(1 - U) / rate.
+        t += -std::log1p(-rng.uniform()) / jobs_per_second;
+        JobSpec spec = prototype;
+        spec.arrival = t;
+        spec.name.clear(); // re-derive from the assigned id
+        int id = submit(std::move(spec));
+        if (first < 0)
+            first = id;
+    }
+    return first;
+}
+
+FleetMetrics
+FleetSim::run()
+{
+    if (ran_)
+        fatal("FleetSim::run() may only be called once");
+    ran_ = true;
+
+    const std::size_t n = jobs_.size();
+    records_.assign(n, FleetJobRecord{});
+    std::vector<JobStepResult> results(n);
+    const FaultPlan *faults =
+        opts_.faults.empty() ? nullptr : &opts_.faults;
+    PlanCache *cache = opts_.planCache ? &planCache_ : nullptr;
+
+    // Step simulations are pure in the JobSpec, so they start
+    // speculatively at arrival; the event loop only blocks at
+    // admission, and only if the result is not ready yet.
+    JobPump pump(
+        n,
+        [&](std::size_t i) {
+            results[i] = simulateJobStep(jobs_[i], cache, faults);
+        },
+        opts_.threads);
+
+    EventQueue queue;
+    std::vector<EventId> completion(n, kNoEvent);
+    std::vector<int> stepsDone(n, 0);
+    std::vector<double> occupiedAt(n, -1.0);
+    std::uint64_t completedCount = 0;
+
+    std::function<void(double)> reschedule;
+    std::function<void(int)> onComplete;
+
+    reschedule = [&](double now) {
+        // Victims are collected and re-queued *between* scheduler
+        // passes: their requeue time is the eviction instant, and
+        // an evictee of priority p can itself only evict jobs of
+        // strictly lower priority, so the pass chain terminates.
+        for (;;) {
+            std::vector<int> victims;
+            scheduler_.schedule(
+                now,
+                [&](int victim) {
+                    auto &rec =
+                        records_[static_cast<std::size_t>(victim)];
+                    queue.cancel(completion[static_cast<std::size_t>(
+                        victim)]);
+                    completion[static_cast<std::size_t>(victim)] =
+                        kNoEvent;
+                    double step =
+                        results[static_cast<std::size_t>(victim)]
+                            .stats.stepTime;
+                    double ran =
+                        now -
+                        occupiedAt[static_cast<std::size_t>(victim)];
+                    // Dock whole completed steps; partial-step
+                    // progress is lost. A victim always keeps at
+                    // least one step to run — eviction at the exact
+                    // completion instant still requeues it.
+                    int whole = step > 0.0
+                        ? static_cast<int>(
+                              std::floor(ran / step + 1e-9))
+                        : 0;
+                    auto &done =
+                        stepsDone[static_cast<std::size_t>(victim)];
+                    done = std::min(
+                        done + whole,
+                        jobs_[static_cast<std::size_t>(victim)]
+                                .steps -
+                            1);
+                    rec.occupiedSeconds += ran;
+                    occupiedAt[static_cast<std::size_t>(victim)] =
+                        -1.0;
+                    ++rec.preemptions;
+                    victims.push_back(victim);
+                },
+                [&](int id, int server) {
+                    auto i = static_cast<std::size_t>(id);
+                    pump.wait(i);
+                    if (std::exception_ptr e = pump.error(i))
+                        std::rethrow_exception(e);
+                    auto &rec = records_[i];
+                    if (rec.start < 0.0)
+                        rec.start = now;
+                    rec.server = server;
+                    occupiedAt[i] = now;
+                    double step = results[i].stats.stepTime;
+                    if (step <= 0.0)
+                        fatal("job %d simulated a non-positive step "
+                              "time (%g s)",
+                              id, step);
+                    int remaining = jobs_[i].steps - stepsDone[i];
+                    completion[i] = queue.schedule(
+                        now + remaining * step,
+                        [&onComplete, id] { onComplete(id); });
+                });
+            if (victims.empty())
+                break;
+            for (int v : victims) {
+                const JobSpec &spec =
+                    jobs_[static_cast<std::size_t>(v)];
+                FleetJobReq req;
+                req.klass = spec.serverClass;
+                req.priority = spec.priority;
+                scheduler_.enqueue(v, now, req);
+            }
+        }
+    };
+
+    onComplete = [&](int id) {
+        auto i = static_cast<std::size_t>(id);
+        double now = queue.now();
+        auto &rec = records_[i];
+        rec.finish = now;
+        rec.occupiedSeconds += now - occupiedAt[i];
+        occupiedAt[i] = -1.0;
+        stepsDone[i] = jobs_[i].steps;
+        completion[i] = kNoEvent;
+        scheduler_.release(id);
+        ++completedCount;
+        reschedule(now);
+    };
+
+    // Arrival events; equal arrival times fire in submit (= id)
+    // order, matching the scheduler's (arrival, id) tie-break.
+    for (std::size_t i = 0; i < n; ++i) {
+        queue.schedule(jobs_[i].arrival, [&, i] {
+            pump.enqueue(i);
+            FleetJobReq req;
+            req.klass = jobs_[i].serverClass;
+            req.priority = jobs_[i].priority;
+            scheduler_.enqueue(static_cast<int>(i), queue.now(),
+                               req);
+            reschedule(queue.now());
+        });
+    }
+    queue.run();
+    pump.drain();
+
+    if (completedCount != n)
+        panic("fleet deadlock: %llu of %zu jobs completed",
+              static_cast<unsigned long long>(completedCount), n);
+
+    // Reduce in job-id order — the same arithmetic in the same
+    // order at any thread width.
+    FleetMetrics m;
+    m.jobs = n;
+    m.completed = completedCount;
+    m.sched = scheduler_.stats();
+    PlanCache::Stats ps = planCache_.stats();
+    m.planHits = ps.hits;
+    m.planMisses = ps.misses;
+    m.planHitRate = ps.hitRate();
+
+    std::vector<double> jcts, waits;
+    jcts.reserve(n);
+    waits.reserve(n);
+    std::map<std::string, double> classOccupied;
+    double totalOccupied = 0.0;
+    double usefulSeconds = 0.0;
+    std::uint64_t fp = kFnvOffset;
+    fnv64(fp, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        FleetJobRecord &rec = records_[i];
+        const JobSpec &spec = jobs_[i];
+        rec.spec = spec;
+        rec.arrival = spec.arrival;
+        rec.queueDelay = rec.start - rec.arrival;
+        rec.stepTime = results[i].stats.stepTime;
+        rec.planCacheHit = results[i].planCacheHit;
+        rec.spanCount = results[i].spanCount;
+        rec.spanHash = results[i].spanHash;
+        if (faults) {
+            // Goodput needs the fault-free step time; solve it once
+            // per distinct job shape (the fault seed is irrelevant
+            // to a clean run, so key on plan key + system).
+            std::string key =
+                strfmt("%s|sys:%s", jobPlanKey(spec).c_str(),
+                       jobSystemName(spec.system));
+            rec.cleanStepTime = cleanCache_.get(key, [&] {
+                return simulateJobStep(spec, cache, nullptr)
+                    .stats.stepTime;
+            });
+        } else {
+            rec.cleanStepTime = rec.stepTime;
+        }
+
+        jcts.push_back(rec.jct());
+        waits.push_back(rec.queueDelay);
+        m.makespan = std::max(m.makespan, rec.finish);
+        classOccupied[spec.serverClass] += rec.occupiedSeconds;
+        totalOccupied += rec.occupiedSeconds;
+        usefulSeconds += spec.steps * rec.cleanStepTime;
+
+        fnv64(fp, static_cast<std::uint64_t>(rec.spec.id));
+        fnvDouble(fp, rec.arrival);
+        fnvDouble(fp, rec.start);
+        fnvDouble(fp, rec.finish);
+        fnvDouble(fp, rec.stepTime);
+        fnvDouble(fp, rec.occupiedSeconds);
+        fnv64(fp, static_cast<std::uint64_t>(rec.preemptions));
+        fnv64(fp, rec.spanCount);
+        fnv64(fp, rec.spanHash);
+    }
+    m.fingerprint = fp;
+    m.jctP50 = exactQuantile(jcts, 0.50);
+    m.jctP99 = exactQuantile(jcts, 0.99);
+    m.jctMax = jcts.empty()
+        ? 0.0
+        : *std::max_element(jcts.begin(), jcts.end());
+    m.waitP50 = exactQuantile(waits, 0.50);
+    m.waitP99 = exactQuantile(waits, 0.99);
+    if (n > 0) {
+        double jsum = 0.0, wsum = 0.0;
+        for (double j : jcts)
+            jsum += j;
+        for (double w : waits)
+            wsum += w;
+        m.jctMean = jsum / static_cast<double>(n);
+        m.waitMean = wsum / static_cast<double>(n);
+    }
+    if (m.makespan > 0.0) {
+        m.utilization = totalOccupied /
+            (static_cast<double>(scheduler_.serverCount()) *
+             m.makespan);
+        for (const auto &[klass, occupied] : classOccupied) {
+            int count = scheduler_.classCount(klass);
+            if (count > 0)
+                m.classUtilization[klass] = occupied /
+                    (static_cast<double>(count) * m.makespan);
+        }
+    }
+    if (totalOccupied > 0.0)
+        m.goodput = usefulSeconds / totalOccupied;
+
+    if (opts_.metrics && opts_.metrics->enabled()) {
+        MetricsRegistry &reg = *opts_.metrics;
+        reg.counter("fleet.jobs").add(static_cast<double>(m.jobs));
+        reg.counter("fleet.completed")
+            .add(static_cast<double>(m.completed));
+        reg.counter("fleet.sched.admissions")
+            .add(static_cast<double>(m.sched.admissions));
+        reg.counter("fleet.sched.backfills")
+            .add(static_cast<double>(m.sched.backfills));
+        reg.counter("fleet.sched.preemptions")
+            .add(static_cast<double>(m.sched.preemptions));
+        reg.counter("fleet.plan.hits")
+            .add(static_cast<double>(m.planHits));
+        reg.counter("fleet.plan.misses")
+            .add(static_cast<double>(m.planMisses));
+        Histogram &jct = reg.histogram("fleet.jct");
+        for (double j : jcts)
+            jct.record(j);
+        Histogram &wait = reg.histogram("fleet.wait");
+        for (double w : waits)
+            wait.record(w);
+        reg.gauge("fleet.makespan").set(m.makespan);
+        reg.gauge("fleet.utilization").set(m.utilization);
+        reg.gauge("fleet.goodput").set(m.goodput);
+    }
+    return m;
+}
+
+} // namespace mobius

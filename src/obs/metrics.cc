@@ -325,4 +325,22 @@ MetricsRegistry::toCsv() const
     return out;
 }
 
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (q <= 0.0)
+        return values.front();
+    if (q >= 1.0)
+        return values.back();
+    double pos = q * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
 } // namespace mobius

@@ -252,6 +252,17 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/**
+ * Exact @p q quantile (q in [0, 1]) of @p values with linear
+ * interpolation between order statistics, computed from a sorted
+ * copy. 0 when empty. The streaming Histogram trades ~1% relative
+ * error for fixed memory; fleet-level reductions (JCT p50/p99 over
+ * a completed job list) retain every sample anyway, so they report
+ * the exact value — and the exact value is what the bit-identity
+ * determinism gates compare across thread widths.
+ */
+double exactQuantile(std::vector<double> values, double q);
+
 } // namespace mobius
 
 #endif // MOBIUS_OBS_METRICS_HH

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "base/logging.hh"
+#include "simcore/trace.hh"
 
 namespace mobius
 {
@@ -108,10 +109,26 @@ runMobiusStep(const Server &server, const CostModel &cost,
               TransferEngineConfig xfer_cfg,
               double cpu_adam_throughput)
 {
-    RunContext ctx(server, xfer_cfg, cpu_adam_throughput);
+    StepRunOptions opts;
+    opts.xfer = xfer_cfg;
+    opts.mobius = exec_cfg;
+    opts.cpuAdamThroughput = cpu_adam_throughput;
+    return runMobiusStepEx(server, cost, plan, opts).stats;
+}
+
+StepRunResult
+runMobiusStepEx(const Server &server, const CostModel &cost,
+                const MobiusPlan &plan, const StepRunOptions &opts)
+{
+    RunContext ctx(server, opts.xfer, opts.cpuAdamThroughput,
+                   opts.metrics, {}, opts.faults, opts.faultSeed);
     MobiusExecutor exec(ctx, cost, plan.partition, plan.mapping,
-                        exec_cfg);
-    return exec.run();
+                        opts.mobius);
+    StepRunResult res;
+    res.stats = exec.run();
+    res.spanCount = ctx.trace().spanCount();
+    res.spanHash = spanFingerprint(ctx.trace());
+    return res;
 }
 
 StepStats
@@ -119,9 +136,25 @@ runZeroStep(const Server &server, const CostModel &cost,
             ZeroExecutorConfig cfg, TransferEngineConfig xfer_cfg,
             double cpu_adam_throughput)
 {
-    RunContext ctx(server, xfer_cfg, cpu_adam_throughput);
-    ZeroHeteroExecutor exec(ctx, cost, cfg);
-    return exec.run();
+    StepRunOptions opts;
+    opts.xfer = xfer_cfg;
+    opts.zero = cfg;
+    opts.cpuAdamThroughput = cpu_adam_throughput;
+    return runZeroStepEx(server, cost, opts).stats;
+}
+
+StepRunResult
+runZeroStepEx(const Server &server, const CostModel &cost,
+              const StepRunOptions &opts)
+{
+    RunContext ctx(server, opts.xfer, opts.cpuAdamThroughput,
+                   opts.metrics, {}, opts.faults, opts.faultSeed);
+    ZeroHeteroExecutor exec(ctx, cost, opts.zero);
+    StepRunResult res;
+    res.stats = exec.run();
+    res.spanCount = ctx.trace().spanCount();
+    res.spanHash = spanFingerprint(ctx.trace());
+    return res;
 }
 
 StepStats

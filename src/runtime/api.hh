@@ -116,6 +116,38 @@ MobiusPlan planMobius(const Server &server, const CostModel &cost,
                       const PlanOptions &opts = {});
 
 /**
+ * Everything a single-step run can be configured with, in one
+ * struct. The positional run*Step() signatures predate the fleet
+ * simulator; fleet jobs need metrics and fault injection per run,
+ * and threading five defaulted positionals through every call site
+ * does not scale. The legacy entry points delegate here.
+ */
+struct StepRunOptions
+{
+    TransferEngineConfig xfer;
+    MobiusExecutorConfig mobius; //!< used by runMobiusStepEx only
+    ZeroExecutorConfig zero;     //!< used by runZeroStepEx only
+    /** CPU optimizer params/s; 0 disables the CPU-update model. */
+    double cpuAdamThroughput = 0.0;
+    /** Optional registry for engine counters; null = no recording. */
+    MetricsRegistry *metrics = nullptr;
+    /** Optional fault plan; null or empty = clean run. */
+    const FaultPlan *faults = nullptr;
+    std::uint64_t faultSeed = 1; //!< FaultInjector stream seed
+};
+
+/** A step's measurements plus its trace digest. */
+struct StepRunResult
+{
+    StepStats stats;
+    std::uint64_t spanCount = 0; //!< spans the run recorded
+    /** spanFingerprint() of the run's trace — the bit-identity
+     *  token fleet determinism gates compare (cache hit vs fresh
+     *  solve, any --threads width). */
+    std::uint64_t spanHash = 0;
+};
+
+/**
  * Execute one Mobius step (event-driven) and return measurements.
  * @param cpu_adam_throughput CPU optimizer params/s; 0 disables the
  *        CPU-update model (the paper's measurement window).
@@ -126,11 +158,22 @@ StepStats runMobiusStep(const Server &server, const CostModel &cost,
                         TransferEngineConfig xfer_cfg = {},
                         double cpu_adam_throughput = 0.0);
 
+/** runMobiusStep() with the full option set and trace digest. */
+StepRunResult runMobiusStepEx(const Server &server,
+                              const CostModel &cost,
+                              const MobiusPlan &plan,
+                              const StepRunOptions &opts = {});
+
 /** Execute one DeepSpeed-style (ZeRO-3 + hetero memory) step. */
 StepStats runZeroStep(const Server &server, const CostModel &cost,
                       ZeroExecutorConfig cfg = {},
                       TransferEngineConfig xfer_cfg = {},
                       double cpu_adam_throughput = 0.0);
+
+/** runZeroStep() with the full option set and trace digest. */
+StepRunResult runZeroStepEx(const Server &server,
+                            const CostModel &cost,
+                            const StepRunOptions &opts = {});
 
 /**
  * Execute one Megatron-style tensor-parallel step (the related-work

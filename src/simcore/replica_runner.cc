@@ -1,9 +1,8 @@
 #include "simcore/replica_runner.hh"
 
-#include <atomic>
 #include <exception>
-#include <thread>
-#include <vector>
+
+#include "simcore/job_pump.hh"
 
 namespace mobius
 {
@@ -17,51 +16,23 @@ runReplicas(int count, const std::function<void(int)> &body,
     if (count <= 0)
         return stats;
 
-    int threads = opts.threads;
-    if (threads <= 0) {
-        threads = static_cast<int>(
-            std::thread::hardware_concurrency());
-        if (threads <= 0)
-            threads = 1;
-    }
-    if (threads > count)
-        threads = count;
-
-    if (threads == 1) {
-        for (int i = 0; i < count; ++i)
-            body(i);
-        return stats;
-    }
-    stats.threadsUsed = threads;
-
-    // Ticket dispatch: workers claim indices in atomic order, write
-    // failures into their replica's slot, and never touch shared
-    // state. A thrown body does not stop the other tickets — every
-    // replica either runs or records its exception.
-    std::atomic<int> next{0};
-    std::vector<std::exception_ptr> errors(
-        static_cast<std::size_t>(count));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            for (;;) {
-                int i = next.fetch_add(1);
-                if (i >= count)
-                    return;
-                try {
-                    body(i);
-                } catch (...) {
-                    errors[static_cast<std::size_t>(i)] =
-                        std::current_exception();
-                }
-            }
-        });
-    }
-    for (auto &th : pool)
-        th.join();
-    for (auto &e : errors)
-        if (e)
+    // A fixed-size batch is the degenerate dynamic ready-set: enqueue
+    // every index up front, drain, and reduce in index order. The
+    // pump preserves the original contract — inline index-order
+    // execution at one thread, FIFO ticket dispatch otherwise, every
+    // replica runs even when another throws, and the lowest-index
+    // exception is rethrown after the join.
+    JobPump pump(
+        static_cast<std::size_t>(count),
+        [&body](std::size_t i) { body(static_cast<int>(i)); },
+        opts.threads);
+    for (int i = 0; i < count; ++i)
+        pump.enqueue(static_cast<std::size_t>(i));
+    pump.drain();
+    stats.threadsUsed = pump.threadsUsed();
+    for (int i = 0; i < count; ++i)
+        if (std::exception_ptr e =
+                pump.error(static_cast<std::size_t>(i)))
             std::rethrow_exception(e);
     return stats;
 }

@@ -25,7 +25,10 @@
  *
  * This is the same pattern the MIP partitioner uses for its parallel
  * stage-count sweep (plan/partition_mip.cc); it lives here so the
- * bench and tools layers can share one audited implementation.
+ * bench and tools layers can share one audited implementation. It is
+ * implemented as the fixed-size special case of JobPump
+ * (job_pump.hh), the dynamic ready-set pump behind the fleet
+ * simulator.
  */
 
 #ifndef MOBIUS_SIMCORE_REPLICA_RUNNER_HH

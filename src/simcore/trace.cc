@@ -1,6 +1,7 @@
 #include "simcore/trace.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
@@ -346,6 +347,69 @@ buildSpanDag(const TraceRecorder &trace)
         }
     }
     return dag;
+}
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvBytes(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvString(std::uint64_t &h, const std::string &s)
+{
+    std::uint64_t len = s.size();
+    fnvBytes(h, &len, sizeof(len));
+    fnvBytes(h, s.data(), s.size());
+}
+
+void
+fnvDouble(std::uint64_t &h, double v)
+{
+    // Hash the bit pattern, not the value: the fingerprint's job is
+    // byte-identity, so -0.0 vs 0.0 or NaN payloads must distinguish.
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnvBytes(h, &bits, sizeof(bits));
+}
+
+} // namespace
+
+std::uint64_t
+spanFingerprint(const TraceRecorder &trace)
+{
+    std::uint64_t h = kFnvOffset;
+    const std::size_t n = trace.spanCount();
+    fnvBytes(h, &n, sizeof(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceSpan s = trace.span(i);
+        fnvString(h, s.track);
+        fnvString(h, s.name);
+        fnvString(h, s.category);
+        fnvDouble(h, s.start);
+        fnvDouble(h, s.end);
+        fnvDouble(h, s.queuedAt);
+        fnvDouble(h, s.work);
+        std::int64_t gpu = s.gpu, stage = s.stage;
+        fnvBytes(h, &gpu, sizeof(gpu));
+        fnvBytes(h, &stage, sizeof(stage));
+        std::uint64_t deps = s.deps.size();
+        fnvBytes(h, &deps, sizeof(deps));
+        for (SpanId d : s.deps)
+            fnvBytes(h, &d, sizeof(d));
+    }
+    return h;
 }
 
 std::string

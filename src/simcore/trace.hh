@@ -302,6 +302,17 @@ struct SpanDag
 /** Extract the schedulable DAG from @p trace's recorded spans. */
 SpanDag buildSpanDag(const TraceRecorder &trace);
 
+/**
+ * Stable 64-bit digest of every recorded span, in recording order:
+ * an FNV-1a hash over each span's track/name/category strings, the
+ * raw bit patterns of start/end/queuedAt/work, its gpu and stage,
+ * and its dependency ids. Two runs produce the same fingerprint iff
+ * they recorded byte-identical span streams — the equality gate the
+ * fleet simulator uses to assert cache-hit and cross-thread-width
+ * runs are span-for-span identical without retaining full traces.
+ */
+std::uint64_t spanFingerprint(const TraceRecorder &trace);
+
 } // namespace mobius
 
 #endif // MOBIUS_SIMCORE_TRACE_HH

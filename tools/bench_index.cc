@@ -11,7 +11,10 @@
  * top-level scalar members are its headline numbers (step times,
  * speedups, sensitivities — e.g. BENCH_simcore.json's events/sec,
  * queue speedup, fair-share skip fraction, and sims/sec per thread
- * width); nested arrays/objects hold the detail. This tool collects
+ * width, or BENCH_fleet.json's plan-cache speedup + hit rate, fleet
+ * jobs/sec, JCT quantiles, faulted goodput, and the determinism
+ * fingerprint); nested arrays/objects hold the detail. This tool
+ * collects
  * exactly those scalars, so the index stays small and diffable
  * run-to-run. The index file itself is excluded from the scan.
  *
