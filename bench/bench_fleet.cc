@@ -31,8 +31,19 @@
  *     bit-identical across thread widths — the preemption
  *     determinism gate.
  *
+ *  4. Timeline tracing overhead + identity. The cached-serial
+ *     section-1 fleet reruns with FleetOptions::trace enabled:
+ *     recording overhead must stay <= 5% CPU (min of 2 repeats
+ *     each way; the `fleet.trace.overhead` scalar), tracing must
+ *     not perturb the run (traced and untraced fingerprints
+ *     bit-identical), the section-3 fleet's decision-log/report
+ *     JSONL must be byte-identical across thread widths and with
+ *     the plan cache on or off, and every job's attribution
+ *     categories must sum to its JCT within 1e-9.
+ *
  * Usage: bench_fleet [--quick] [--out FILE] [--threads N]
  *                    [--jobs N] [--no-plan-cache]
+ *                    [--timeline FILE]
  *
  *   --quick         smaller fleets; this is the tier-1 ctest smoke.
  *                   Exits nonzero when any gate fails. Speed gates
@@ -43,6 +54,10 @@
  *   --jobs          size of the section-1 fleet (default 200).
  *   --no-plan-cache diagnostic: skip the cached runs and gates,
  *                   report only the uncached baseline.
+ *   --timeline      write the section-4 faulted fleet's Chrome
+ *                   timeline to FILE (open in Perfetto) and its
+ *                   report JSONL next to it (.json -> .jsonl; feed
+ *                   to tools/fleet_report).
  *   --out           JSON output path (default BENCH_fleet.json).
  *                   Top-level scalars are folded into
  *                   BENCH_index.json by tools/bench_index.
@@ -50,9 +65,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +86,12 @@ namespace
 /** Quick-tier gates (the acceptance bar for the fleet rewrite). */
 constexpr double kMinSpeedup = 3.0;
 constexpr double kMinHitRate = 0.90;
+/** Relative CPU overhead tracing may add, plus an absolute slack
+ *  so micro-noise on a sub-second baseline cannot trip the gate. */
+constexpr double kMaxTraceOverhead = 0.05;
+constexpr double kTraceOverheadSlack = 0.02;
+/** Per-job attribution drift bound: |sum(categories) - jct|. */
+constexpr double kMaxAttribDrift = 1e-9;
 
 double
 cpuNow()
@@ -103,24 +126,10 @@ struct FleetRun
     double cpu = 0.0;  //!< process CPU seconds in run()
 };
 
-/** Build, fill, and run the section-1 homogeneous fleet. */
+/** Time one FleetSim::run(). */
 FleetRun
-runHomogeneous(int jobs, int threads, bool plan_cache,
-               JobSystem system)
+timedRun(FleetSim &sim)
 {
-    FleetOptions opts;
-    opts.servers = commodityFleet(4);
-    opts.threads = threads;
-    opts.planCache = plan_cache;
-    FleetSim sim(std::move(opts));
-
-    JobSpec proto;
-    proto.model = gpt3b();
-    proto.system = system;
-    proto.serverClass = "commodity";
-    proto.steps = 3;
-    sim.submitPoisson(proto, jobs, 1.0, 42);
-
     FleetRun r;
     double c0 = cpuNow(), w0 = wallNow();
     r.m = sim.run();
@@ -129,9 +138,43 @@ runHomogeneous(int jobs, int threads, bool plan_cache,
     return r;
 }
 
-/** Build, fill, and run the section-3 faulted priority fleet. */
+/** Build and fill (but do not run) the section-1 homogeneous
+ *  fleet. Returned by pointer: FleetSim pins a mutex-holding plan
+ *  cache, and section 4 inspects sims after their run. */
+std::unique_ptr<FleetSim>
+makeHomogeneous(int jobs, int threads, bool plan_cache,
+                JobSystem system, FleetTraceConfig trace = {})
+{
+    FleetOptions opts;
+    opts.servers = commodityFleet(4);
+    opts.threads = threads;
+    opts.planCache = plan_cache;
+    opts.trace = trace;
+    auto sim = std::make_unique<FleetSim>(std::move(opts));
+
+    JobSpec proto;
+    proto.model = gpt3b();
+    proto.system = system;
+    proto.serverClass = "commodity";
+    proto.steps = 3;
+    sim->submitPoisson(proto, jobs, 1.0, 42);
+    return sim;
+}
+
+/** Build, fill, and run the section-1 homogeneous fleet. */
 FleetRun
-runFaulted(int jobs, int threads)
+runHomogeneous(int jobs, int threads, bool plan_cache,
+               JobSystem system)
+{
+    auto sim = makeHomogeneous(jobs, threads, plan_cache, system);
+    return timedRun(*sim);
+}
+
+/** Build and fill (but do not run) the section-3/4 faulted
+ *  priority fleet. */
+std::unique_ptr<FleetSim>
+makeFaulted(int jobs, int threads, bool plan_cache = true,
+            FleetTraceConfig trace = {})
 {
     FleetOptions opts;
     opts.servers = commodityFleet(2);
@@ -142,12 +185,14 @@ runFaulted(int jobs, int threads)
     dc.count = 1;
     opts.servers.push_back(dc);
     opts.threads = threads;
+    opts.planCache = plan_cache;
     opts.preemption = true;
     opts.backfill = true;
     opts.faults.xfailProb = 0.01;
     opts.faults.retryBudget = 10;
     opts.faults.retryBackoff = 1e-4;
-    FleetSim sim(std::move(opts));
+    opts.trace = trace;
+    auto sim = std::make_unique<FleetSim>(std::move(opts));
 
     // Low-priority (5) jobs saturate the commodity servers; every
     // fourth job arrives as priority 0 and must evict one of them.
@@ -162,15 +207,17 @@ runFaulted(int jobs, int threads)
         spec.arrival = 0.3 * i;
         spec.priority = (i % 4 == 3) ? 0 : 5;
         spec.faultSeed = 100 + static_cast<std::uint64_t>(i);
-        sim.submit(std::move(spec));
+        sim->submit(std::move(spec));
     }
+    return sim;
+}
 
-    FleetRun r;
-    double c0 = cpuNow(), w0 = wallNow();
-    r.m = sim.run();
-    r.cpu = cpuNow() - c0;
-    r.wall = wallNow() - w0;
-    return r;
+/** Build, fill, and run the section-3 faulted priority fleet. */
+FleetRun
+runFaulted(int jobs, int threads)
+{
+    auto sim = makeFaulted(jobs, threads);
+    return timedRun(*sim);
 }
 
 /** Exact-equality check of the cross-width identity fields. */
@@ -197,6 +244,7 @@ main(int argc, char **argv)
         const bool no_cache = args.has("no-plan-cache");
         const int jobs = static_cast<int>(
             args.getInt("jobs", quick ? 200 : 600));
+        const std::string timeline_out = args.get("timeline", "");
         args.rejectUnused();
 
         int hw = static_cast<int>(
@@ -331,8 +379,123 @@ main(int argc, char **argv)
                     goodput_ok ? "ok" : "FAIL",
                     preempt_ok ? "ok" : "FAIL");
 
+        // --- Section 4: timeline tracing — overhead + identity.
+        bench::section("Fleet: timeline tracing overhead + "
+                       "identity");
+        FleetTraceConfig tcfg;
+        tcfg.enabled = true;
+
+        // Recording overhead on the cached-serial homogeneous
+        // fleet, min CPU of 2 repeats each way (std::clock, so a
+        // loaded `ctest -j` cannot fail the gate on wall noise).
+        double base_cpu = 1e300, traced_cpu = 1e300;
+        FleetMetrics base_m, traced_m;
+        std::unique_ptr<FleetSim> traced_homo;
+        for (int rep = 0; rep < 2; ++rep) {
+            auto sim = makeHomogeneous(jobs, 1, true,
+                                       JobSystem::Mobius);
+            FleetRun r = timedRun(*sim);
+            base_cpu = std::min(base_cpu, r.cpu);
+            base_m = r.m;
+        }
+        for (int rep = 0; rep < 2; ++rep) {
+            traced_homo = makeHomogeneous(jobs, 1, true,
+                                          JobSystem::Mobius, tcfg);
+            FleetRun r = timedRun(*traced_homo);
+            traced_cpu = std::min(traced_cpu, r.cpu);
+            traced_m = r.m;
+        }
+        double trace_overhead =
+            traced_cpu / std::max(base_cpu, 1e-9) - 1.0;
+        bool overhead_ok = traced_cpu <=
+            base_cpu * (1.0 + kMaxTraceOverhead) +
+                kTraceOverheadSlack;
+        // Tracing observes; it must not perturb what the fleet
+        // *does* (the fingerprint folds the decision stream).
+        bool perturb_ok =
+            traced_m.fingerprint == base_m.fingerprint;
+
+        // Byte-identity of the full report (decision log + job
+        // attribution + summary) across thread widths and with the
+        // plan cache off, on the preemption/backfill fleet.
+        auto t1 = makeFaulted(fault_jobs, 1, true, tcfg);
+        timedRun(*t1);
+        auto tn = makeFaulted(fault_jobs, widths.back(), true,
+                              tcfg);
+        timedRun(*tn);
+        auto tnc = makeFaulted(fault_jobs, 1, false, tcfg);
+        timedRun(*tnc);
+        std::string report1 = t1->reportJsonl();
+        bool report_ident_ok = report1 == tn->reportJsonl() &&
+            report1 == tnc->reportJsonl();
+        bool timeline_ident_ok =
+            t1->timelineJson() == tn->timelineJson();
+
+        // Per-job attribution must cover residence time exactly:
+        // queue-wait + in-step categories + preemption-lost = JCT.
+        double worst_drift = 0.0;
+        for (const FleetSim *sim :
+             {t1.get(), traced_homo.get()}) {
+            for (const FleetJobAttribution &ja :
+                 sim->attribution().jobs)
+                worst_drift =
+                    std::max(worst_drift,
+                             std::fabs(ja.t.total() - ja.jct));
+        }
+        bool attrib_sum_ok = worst_drift <= kMaxAttribDrift;
+
+        std::printf("\n  recording overhead: %.2fs -> %.2fs cpu "
+                    "(%+.1f%%, ceiling %.0f%%): %s\n",
+                    base_cpu, traced_cpu, 100.0 * trace_overhead,
+                    100.0 * kMaxTraceOverhead,
+                    overhead_ok ? "ok" : "FAIL");
+        std::printf("  zero perturbation (traced vs untraced "
+                    "fingerprint): %s\n",
+                    perturb_ok ? "bit-identical"
+                               : "NONDETERMINISTIC");
+        std::printf("  report JSONL across 1/%d threads + cache "
+                    "off: %s\n",
+                    widths.back(),
+                    report_ident_ok ? "byte-identical"
+                                    : "NONDETERMINISTIC");
+        std::printf("  timeline JSON across widths: %s\n",
+                    timeline_ident_ok ? "byte-identical"
+                                      : "NONDETERMINISTIC");
+        std::printf("  attribution sums: worst |total - jct| "
+                    "%.3g (<= %g): %s\n",
+                    worst_drift, kMaxAttribDrift,
+                    attrib_sum_ok ? "ok" : "FAIL");
+        std::printf("  %llu events recorded, %llu truncated\n",
+                    (unsigned long long)t1->fleetTrace()
+                        .eventCount(),
+                    (unsigned long long)t1->fleetTrace()
+                        .truncated());
+
+        if (!timeline_out.empty()) {
+            std::ofstream tos(timeline_out);
+            tos << t1->timelineJson();
+            if (!tos)
+                fatal("cannot write '%s'", timeline_out.c_str());
+            std::string jsonl_out = timeline_out;
+            const std::string ext = ".json";
+            if (jsonl_out.size() >= ext.size() &&
+                jsonl_out.compare(jsonl_out.size() - ext.size(),
+                                  ext.size(), ext) == 0)
+                jsonl_out.resize(jsonl_out.size() - ext.size());
+            jsonl_out += ".jsonl";
+            std::ofstream ros(jsonl_out);
+            ros << report1;
+            if (!ros)
+                fatal("cannot write '%s'", jsonl_out.c_str());
+            std::printf("  wrote %s (Perfetto) and %s "
+                        "(fleet_report)\n",
+                        timeline_out.c_str(), jsonl_out.c_str());
+        }
+
         bool ok = hit_ok && speedup_ok && ident_ok &&
-            fault_ident_ok && goodput_ok && preempt_ok;
+            fault_ident_ok && goodput_ok && preempt_ok &&
+            overhead_ok && perturb_ok && report_ident_ok &&
+            timeline_ident_ok && attrib_sum_ok;
 
         // --- JSON.
         std::string json = "{\n  \"quick\": ";
@@ -408,6 +571,31 @@ main(int argc, char **argv)
             fault_jobs, f1.m.goodput,
             (unsigned long long)f1.m.sched.preemptions,
             (unsigned long long)f1.m.sched.backfills);
+        json += strfmt(",\n  \"fleet.trace.overhead\": %.17g",
+                       trace_overhead);
+        json += strfmt(
+            ",\n  \"fleet.trace.overhead_ceiling\": %g",
+            kMaxTraceOverhead);
+        json += strfmt(
+            ",\n  \"fleet.trace.events\": %llu"
+            ",\n  \"fleet.trace.truncated\": %llu",
+            (unsigned long long)t1->fleetTrace().eventCount(),
+            (unsigned long long)t1->fleetTrace().truncated());
+        json += strfmt(
+            ",\n  \"fleet.trace.attrib_worst_drift\": %.17g",
+            worst_drift);
+        json += ",\n  \"trace_overhead_ok\": ";
+        json += overhead_ok ? "true" : "false";
+        json += ",\n  \"trace_identity_ok\": ";
+        json += (perturb_ok && report_ident_ok &&
+                 timeline_ident_ok)
+            ? "true"
+            : "false";
+        json += ",\n  \"trace_attrib_sum_ok\": ";
+        json += attrib_sum_ok ? "true" : "false";
+        json += strfmt(
+            ",\n  \"decision_fingerprint\": \"%016llx\"",
+            (unsigned long long)uncached.m.decisionFingerprint);
         json += ",\n  \"determinism_ok\": ";
         json += (ident_ok && fault_ident_ok) ? "true" : "false";
         json += ",\n  \"ok\": ";

@@ -5,10 +5,13 @@
 #include <cstring>
 #include <functional>
 
+#include <sstream>
+
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/job_pump.hh"
+#include "simcore/trace.hh"
 
 namespace mobius
 {
@@ -125,13 +128,47 @@ FleetSim::run()
         opts_.faults.empty() ? nullptr : &opts_.faults;
     PlanCache *cache = opts_.planCache ? &planCache_ : nullptr;
 
+    const bool tracing = opts_.trace.enabled;
+    if (tracing) {
+        std::vector<std::string> tracks;
+        tracks.reserve(
+            static_cast<std::size_t>(scheduler_.serverCount()));
+        for (int s = 0; s < scheduler_.serverCount(); ++s)
+            tracks.push_back(strfmt(
+                "server%d.%s", s,
+                scheduler_.serverClass(s).c_str()));
+        std::vector<std::string> classNames;
+        for (int k = 0; k < scheduler_.klassCount(); ++k)
+            classNames.push_back(scheduler_.klassName(k));
+        trace_ = std::make_unique<FleetTrace>(
+            opts_.trace, n, std::move(tracks),
+            std::move(classNames));
+    }
+
     // Step simulations are pure in the JobSpec, so they start
     // speculatively at arrival; the event loop only blocks at
-    // admission, and only if the result is not ready yet.
+    // admission, and only if the result is not ready yet. When
+    // tracing, the step's spans are retained just long enough to
+    // run critical-path attribution — memoized per jobSimKey (step
+    // results are bit-identical per key), so a homogeneous fleet
+    // pays one walk. Attribution runs on pump workers but only
+    // key-identical values ever race, so the reduction below stays
+    // bit-identical at any thread width.
+    std::vector<AttributionBreakdown> stepAttrib(tracing ? n : 0);
     JobPump pump(
         n,
         [&](std::size_t i) {
-            results[i] = simulateJobStep(jobs_[i], cache, faults);
+            if (!tracing) {
+                results[i] =
+                    simulateJobStep(jobs_[i], cache, faults);
+                return;
+            }
+            TraceRecorder tr;
+            results[i] =
+                simulateJobStep(jobs_[i], cache, faults, &tr);
+            stepAttrib[i] = attribCache_.get(
+                jobSimKey(jobs_[i]),
+                [&] { return attributeStep(tr).critical; });
         },
         opts_.threads);
 
@@ -140,6 +177,97 @@ FleetSim::run()
     std::vector<int> stepsDone(n, 0);
     std::vector<double> occupiedAt(n, -1.0);
     std::uint64_t completedCount = 0;
+
+    // Every scheduler decision is digested into decisionFp — always,
+    // tracing on or off, so the fingerprint catches scheduler-order
+    // regressions in every configuration and tracing perturbs
+    // nothing. The hook runs on the fleet event loop (the scheduler
+    // is single-threaded), never on pump workers: the decision log
+    // is emitted strictly in event order.
+    std::uint64_t decisionFp = kFnvOffset;
+    scheduler_.setDecisionHook([&](const SchedDecision &d) {
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.kind));
+        fnvDouble(decisionFp, d.time);
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.job));
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.priority));
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.server));
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.klass));
+        fnv64(decisionFp,
+              static_cast<std::uint64_t>(d.freeInClass));
+        fnv64(decisionFp,
+              static_cast<std::uint64_t>(d.blockedHead));
+        fnv64(decisionFp, static_cast<std::uint64_t>(d.victim));
+        fnv64(decisionFp,
+              static_cast<std::uint64_t>(d.victimPriority));
+        fnvDouble(decisionFp, d.victimStart);
+        fnv64(decisionFp, d.pending);
+        if (!trace_)
+            return;
+
+        const std::string &klass = scheduler_.klassName(d.klass);
+        FleetDecision fd;
+        fd.time = d.time;
+        fd.job = d.job;
+        fd.server = d.server;
+        fd.priority = d.priority;
+        fd.klass = klass;
+        fd.freeInClass = d.freeInClass;
+        fd.blockedHead = d.blockedHead;
+        if (d.blockedHeadKlass >= 0)
+            fd.blockedHeadKlass =
+                scheduler_.klassName(d.blockedHeadKlass);
+        fd.victim = d.victim;
+        fd.victimPriority = d.victimPriority;
+        fd.victimStart = d.victimStart;
+        fd.pending = d.pending;
+
+        FleetEvent ev;
+        ev.time = d.time;
+        if (d.kind == SchedDecision::Kind::Preempt) {
+            fd.kind = FleetDecision::Kind::Preempt;
+            fd.why = strfmt(
+                "preempted job %d (prio %d, started %.9gs) on "
+                "server %d (%s) for job %d (prio %d): 0 free",
+                d.victim, d.victimPriority, d.victimStart,
+                d.server, klass.c_str(), d.job, d.priority);
+            ev.type = FleetEventType::Preempt;
+            ev.job = d.victim;
+            ev.server = d.server;
+            ev.other = d.job;
+            ev.value = d.victimPriority;
+        } else {
+            if (d.kind == SchedDecision::Kind::Backfill) {
+                fd.kind = FleetDecision::Kind::Backfill;
+                fd.why = strfmt(
+                    "backfilled job %d onto server %d (%s) past "
+                    "blocked head %d: head needs 1x%s, 0 free",
+                    d.job, d.server, klass.c_str(), d.blockedHead,
+                    fd.blockedHeadKlass.c_str());
+            } else {
+                fd.kind = FleetDecision::Kind::Admit;
+                fd.why = strfmt(
+                    "admitted job %d on server %d (%s): %d free",
+                    d.job, d.server, klass.c_str(),
+                    d.freeInClass);
+            }
+            // The hook fires before the admit callback stamps
+            // start, so a non-negative start means this placement
+            // is a post-preemption restart.
+            bool restart =
+                records_[static_cast<std::size_t>(d.job)].start >=
+                0.0;
+            ev.type = restart ? FleetEventType::Resume
+                      : d.kind == SchedDecision::Kind::Backfill
+                          ? FleetEventType::Backfill
+                          : FleetEventType::Admit;
+            ev.job = d.job;
+            ev.server = d.server;
+            ev.other = d.blockedHead;
+            ev.value = d.priority;
+        }
+        trace_->recordDecision(std::move(fd));
+        trace_->recordEvent(ev);
+    });
 
     std::function<void(double)> reschedule;
     std::function<void(int)> onComplete;
@@ -185,6 +313,19 @@ FleetSim::run()
                     occupiedAt[static_cast<std::size_t>(victim)] =
                         -1.0;
                     ++rec.preemptions;
+                    if (trace_) {
+                        FleetEvent ev;
+                        ev.type = FleetEventType::Dock;
+                        ev.time = now;
+                        ev.job = victim;
+                        ev.server = rec.server;
+                        ev.other = done; // whole steps kept
+                        // Lost partial-step progress, seconds.
+                        ev.value = step > 0.0
+                            ? ran - whole * step
+                            : 0.0;
+                        trace_->recordEvent(ev);
+                    }
                     victims.push_back(victim);
                 },
                 [&](int id, int server) {
@@ -218,6 +359,12 @@ FleetSim::run()
                 scheduler_.enqueue(v, now, req);
             }
         }
+        // Sample the scheduler gauges once per settled pass (every
+        // arrival and completion funnels through here).
+        if (trace_)
+            trace_->sampleCounters(now, scheduler_.pendingCount(),
+                                   scheduler_.runningCount(),
+                                   scheduler_.freeCounts());
     };
 
     onComplete = [&](int id) {
@@ -229,6 +376,12 @@ FleetSim::run()
         occupiedAt[i] = -1.0;
         stepsDone[i] = jobs_[i].steps;
         completion[i] = kNoEvent;
+        if (trace_) {
+            trace_->recordEvent({FleetEventType::Finish, now, id,
+                                 rec.server, -1, 0.0});
+            trace_->recordEvent({FleetEventType::ServerFree, now,
+                                 id, rec.server, -1, 0.0});
+        }
         scheduler_.release(id);
         ++completedCount;
         reschedule(now);
@@ -242,6 +395,11 @@ FleetSim::run()
             FleetJobReq req;
             req.klass = jobs_[i].serverClass;
             req.priority = jobs_[i].priority;
+            if (trace_)
+                trace_->recordEvent({FleetEventType::Submit,
+                                     queue.now(),
+                                     static_cast<int>(i), -1, -1,
+                                     0.0});
             scheduler_.enqueue(static_cast<int>(i), queue.now(),
                                req);
             reschedule(queue.now());
@@ -314,8 +472,56 @@ FleetSim::run()
         fnv64(fp, static_cast<std::uint64_t>(rec.preemptions));
         fnv64(fp, rec.spanCount);
         fnv64(fp, rec.spanHash);
+
+        if (trace_) {
+            // Roll the job's residence time up into the fleet
+            // attribution. The identity (gated at 1e-9 by tests
+            // and bench_fleet):
+            //   jct = queueWait + preemptionLost + steps*stepTime
+            // with the in-step categories rescaled from one
+            // attributed step so they sum to steps*stepTime
+            // exactly (the critical-path walk's own step time is
+            // the span makespan, which can differ from the
+            // measured stepTime in the last ulp).
+            FleetJobAttribution ja;
+            ja.job = rec.spec.id;
+            ja.name = rec.spec.name;
+            ja.klass = rec.spec.serverClass;
+            ja.priority = rec.spec.priority;
+            ja.jct = rec.jct();
+            ja.preemptions = rec.preemptions;
+            ja.t.jobs = 1;
+            double stepsSeconds = rec.spec.steps * rec.stepTime;
+            ja.t.queueWait = ja.jct - rec.occupiedSeconds;
+            ja.t.preemptionLost =
+                rec.occupiedSeconds - stepsSeconds;
+            const AttributionBreakdown &c = stepAttrib[i];
+            double ctotal = c.total();
+            if (ctotal > 0.0) {
+                double scale = stepsSeconds / ctotal;
+                ja.t.compute = scale * c.compute;
+                ja.t.transfer = scale * c.transfer;
+                ja.t.contention = scale * c.queue;
+                ja.t.optimizer = scale * c.optimizer;
+                ja.t.fault = scale * c.fault;
+                ja.t.bubble = scale * c.bubble;
+                ja.t.other = scale * c.other;
+            } else {
+                ja.t.other = stepsSeconds;
+            }
+            attribution_.add(std::move(ja));
+        }
     }
+    // Scheduler-order regressions change the decision stream even
+    // when per-job timings happen to collide, so the decision
+    // digest folds into the cross-width identity token.
+    m.decisionFingerprint = decisionFp;
+    fnv64(fp, decisionFp);
     m.fingerprint = fp;
+    if (trace_) {
+        m.traceEvents = trace_->eventCount();
+        m.traceTruncated = trace_->truncated();
+    }
     m.jctP50 = exactQuantile(jcts, 0.50);
     m.jctP99 = exactQuantile(jcts, 0.99);
     m.jctMax = jcts.empty()
@@ -370,8 +576,81 @@ FleetSim::run()
         reg.gauge("fleet.makespan").set(m.makespan);
         reg.gauge("fleet.utilization").set(m.utilization);
         reg.gauge("fleet.goodput").set(m.goodput);
+        if (trace_) {
+            reg.counter("fleet.trace.events")
+                .add(static_cast<double>(m.traceEvents));
+            reg.counter("fleet.trace.truncated")
+                .add(static_cast<double>(m.traceTruncated));
+        }
     }
+    metrics_ = m;
     return m;
+}
+
+void
+FleetSim::requireTrace(const char *what) const
+{
+    if (!ran_)
+        fatal("FleetSim::%s requires a completed run()", what);
+    if (!trace_)
+        fatal("FleetSim::%s requires FleetOptions::trace.enabled",
+              what);
+}
+
+const FleetTrace &
+FleetSim::fleetTrace() const
+{
+    requireTrace("fleetTrace()");
+    return *trace_;
+}
+
+const FleetAttribution &
+FleetSim::attribution() const
+{
+    requireTrace("attribution()");
+    return attribution_;
+}
+
+std::string
+FleetSim::timelineJson() const
+{
+    requireTrace("timelineJson()");
+    std::string metadata = strfmt(
+        "{\"kind\":\"fleet-timeline\",\"jobs\":%zu,"
+        "\"servers\":%d,\"events\":%llu,\"truncated\":%llu}",
+        jobs_.size(), scheduler_.serverCount(),
+        static_cast<unsigned long long>(trace_->eventCount()),
+        static_cast<unsigned long long>(trace_->truncated()));
+    return trace_->toChromeJson(metadata);
+}
+
+std::string
+FleetSim::reportJsonl() const
+{
+    requireTrace("reportJsonl()");
+    std::ostringstream os;
+    os << trace_->decisionLogJsonl();
+    for (const FleetJobAttribution &ja : attribution_.jobs)
+        os << fleetJobJson(ja) << "\n";
+    os << strfmt(
+        "{\"kind\":\"summary\",\"jobs\":%llu,\"completed\":%llu,"
+        "\"makespan\":%.17g,\"events\":%llu,\"truncated\":%llu,"
+        "\"admissions\":%llu,\"backfills\":%llu,"
+        "\"preemptions\":%llu,"
+        "\"decision_fingerprint\":\"%016llx\"}\n",
+        static_cast<unsigned long long>(metrics_.jobs),
+        static_cast<unsigned long long>(metrics_.completed),
+        metrics_.makespan,
+        static_cast<unsigned long long>(metrics_.traceEvents),
+        static_cast<unsigned long long>(metrics_.traceTruncated),
+        static_cast<unsigned long long>(
+            metrics_.sched.admissions),
+        static_cast<unsigned long long>(metrics_.sched.backfills),
+        static_cast<unsigned long long>(
+            metrics_.sched.preemptions),
+        static_cast<unsigned long long>(
+            metrics_.decisionFingerprint));
+    return os.str();
 }
 
 } // namespace mobius

@@ -43,12 +43,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fault/fault_plan.hh"
 #include "fleet/job.hh"
 #include "fleet/scheduler.hh"
+#include "obs/critical_path.hh"
+#include "obs/fleet_trace.hh"
 #include "obs/metrics.hh"
 
 namespace mobius
@@ -68,6 +71,16 @@ struct FleetOptions
     FaultPlan faults;
     /** Optional registry for fleet.* metrics; null = none. */
     MetricsRegistry *metrics = nullptr;
+    /**
+     * Fleet timeline tracing (obs/fleet_trace.hh): off by default —
+     * zero recording work, zero overhead. When trace.enabled, the
+     * run additionally keeps typed per-job events (ring-bounded by
+     * trace.maxEventsPerJob), the scheduler decision log, server
+     * occupancy stints, queue/free-server counters, and per-job
+     * attribution roll-ups, exposed via fleetTrace() /
+     * attribution() / timelineJson() / reportJsonl().
+     */
+    FleetTraceConfig trace;
 };
 
 /** Everything the fleet learned about one job. */
@@ -114,9 +127,24 @@ struct FleetMetrics
     std::uint64_t planHits = 0, planMisses = 0;
     double planHitRate = 0.0;
 
+    /**
+     * FNV-1a digest of the scheduler decision stream (kind, time,
+     * job, server, priorities, victim, blocked head, queue gauges
+     * of every admit/backfill/preempt, in decision order). Always
+     * computed — tracing on or off — so scheduler-order regressions
+     * trip the cross-width identity gates even without a log.
+     */
+    std::uint64_t decisionFingerprint = 0;
+
     /** FNV-1a digest of every job record (timings, trace hashes)
-     *  in job-id order — the cross-width bit-identity token. */
+     *  in job-id order, folded with decisionFingerprint — the
+     *  cross-width bit-identity token. */
     std::uint64_t fingerprint = 0;
+
+    /** Fleet trace events recorded / dropped by ring budgets
+     *  (0 / 0 when tracing is off). */
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceTruncated = 0;
 };
 
 /** The fleet simulator (see file header). */
@@ -155,7 +183,40 @@ class FleetSim
     /** The plan memo (shared across all jobs of this fleet). */
     PlanCache &planCache() { return planCache_; }
 
+    /**
+     * The fleet timeline recorder (valid after run(); fatal when
+     * FleetOptions::trace.enabled was false — there is nothing to
+     * inspect).
+     */
+    const FleetTrace &fleetTrace() const;
+
+    /** Per-job attribution roll-ups (valid after run() with tracing
+     *  on; fatal otherwise). Every job's categories sum to its JCT
+     *  within ~1e-13 relative drift. */
+    const FleetAttribution &attribution() const;
+
+    /**
+     * The fleet timeline as Chrome tracing JSON: one track per
+     * server with job-occupancy spans, preemption->resume flow
+     * arrows, and pending/running/free-server counter tracks.
+     * Valid after run() with tracing on; fatal otherwise.
+     */
+    std::string timelineJson() const;
+
+    /**
+     * The full observability report as JSONL: every scheduler
+     * decision (inputs + one-line explanation) in event order, one
+     * attribution record per job, and a trailing summary line —
+     * the input tools/fleet_report consumes. Byte-identical at any
+     * --threads width and with the plan cache on or off. Valid
+     * after run() with tracing on; fatal otherwise.
+     */
+    std::string reportJsonl() const;
+
   private:
+    /** fatal() unless run() completed with tracing enabled. */
+    void requireTrace(const char *what) const;
+
     FleetOptions opts_;
     FleetScheduler scheduler_;
     std::vector<JobSpec> jobs_;
@@ -164,6 +225,16 @@ class FleetSim
     /** Clean-run step time per jobSimKey, for goodput accounting
      *  when faults are active (solved once per distinct job). */
     SingleFlightCache<double> cleanCache_;
+    /** Timeline recorder; non-null iff opts_.trace.enabled. */
+    std::unique_ptr<FleetTrace> trace_;
+    /** One-step attribution per jobSimKey: step results are
+     *  bit-identical per key, so a homogeneous fleet pays one
+     *  critical-path walk, not one per job. */
+    SingleFlightCache<AttributionBreakdown> attribCache_;
+    /** Roll-ups built during run() when tracing. */
+    FleetAttribution attribution_;
+    /** Copy of run()'s reductions, for reportJsonl(). */
+    FleetMetrics metrics_;
     bool ran_ = false;
 };
 

@@ -84,7 +84,7 @@ jobSimKey(const JobSpec &spec)
 
 JobStepResult
 simulateJobStep(const JobSpec &spec, PlanCache *cache,
-                const FaultPlan *faults)
+                const FaultPlan *faults, TraceRecorder *trace_out)
 {
     using clock = std::chrono::steady_clock;
 
@@ -96,6 +96,7 @@ simulateJobStep(const JobSpec &spec, PlanCache *cache,
     StepRunOptions run;
     run.faults = faults;
     run.faultSeed = spec.faultSeed;
+    run.traceOut = trace_out;
 
     if (spec.system == JobSystem::DeepSpeed) {
         StepRunResult step =

@@ -115,11 +115,15 @@ struct JobStepResult
  * Plan (through @p cache when non-null) and simulate one training
  * step of @p spec. Pure in the spec: equal jobSimKey() (with equal
  * @p faults) gives bit-identical results, cached or fresh plan,
- * any thread. @p faults may be null for a clean run.
+ * any thread. @p faults may be null for a clean run. When
+ * @p trace_out is non-null the step's span trace is retained into
+ * it (moved wholesale, see StepRunOptions::traceOut) so callers can
+ * run critical-path attribution on it.
  */
 JobStepResult simulateJobStep(const JobSpec &spec,
                               PlanCache *cache = nullptr,
-                              const FaultPlan *faults = nullptr);
+                              const FaultPlan *faults = nullptr,
+                              TraceRecorder *trace_out = nullptr);
 
 } // namespace mobius
 

@@ -72,6 +72,29 @@ FleetScheduler::classCount(const std::string &klass) const
     return n;
 }
 
+const std::string &
+FleetScheduler::klassName(int klass) const
+{
+    if (klass < 0 || klass >= static_cast<int>(klasses_.size()))
+        fatal("class index %d out of range", klass);
+    return klasses_[static_cast<std::size_t>(klass)].name;
+}
+
+std::vector<int>
+FleetScheduler::freeCounts() const
+{
+    std::vector<int> free(klasses_.size(), 0);
+    for (std::size_t k = 0; k < klasses_.size(); ++k)
+        free[k] = static_cast<int>(klasses_[k].freeServers.size());
+    return free;
+}
+
+void
+FleetScheduler::setDecisionHook(DecisionHook hook)
+{
+    decisionHook_ = std::move(hook);
+}
+
 void
 FleetScheduler::enqueue(int id, double arrival,
                         const FleetJobReq &req)
@@ -109,7 +132,7 @@ FleetScheduler::release(int id)
 
 int
 FleetScheduler::tryPlace(
-    const Pending &job,
+    double now, const Pending &job, std::uint64_t pending_seen,
     const std::function<void(int victim)> &evict)
 {
     Klass &klass = klasses_[static_cast<std::size_t>(job.klass)];
@@ -144,6 +167,21 @@ FleetScheduler::tryPlace(
     if (victim < 0)
         return -1;
     int server = worst->server;
+    if (decisionHook_) {
+        SchedDecision d;
+        d.kind = SchedDecision::Kind::Preempt;
+        d.time = now;
+        d.job = job.id;
+        d.priority = job.priority;
+        d.server = server;
+        d.klass = job.klass;
+        d.freeInClass = 0; // by construction: no free server
+        d.victim = victim;
+        d.victimPriority = worst->priority;
+        d.victimStart = worst->start;
+        d.pending = pending_seen;
+        decisionHook_(d);
+    }
     evict(victim);
     running_.erase(victim);
     ++stats_.preemptions;
@@ -169,7 +207,12 @@ FleetScheduler::schedule(
             continue;
         }
         Pending job = popPending();
-        int server = tryPlace(job, evict);
+        std::uint64_t pendingSeen =
+            pending_.size() + blocked.size();
+        int freeBefore = static_cast<int>(
+            klasses_[static_cast<std::size_t>(job.klass)]
+                .freeServers.size());
+        int server = tryPlace(now, job, pendingSeen, evict);
         if (server < 0) {
             blockedKlass[static_cast<std::size_t>(job.klass)] =
                 true;
@@ -186,6 +229,26 @@ FleetScheduler::schedule(
         ++stats_.admissions;
         if (!blocked.empty())
             ++stats_.backfills; // jumped at least one blocked job
+        if (decisionHook_) {
+            SchedDecision d;
+            d.kind = blocked.empty()
+                         ? SchedDecision::Kind::Admit
+                         : SchedDecision::Kind::Backfill;
+            d.time = now;
+            d.job = job.id;
+            d.priority = job.priority;
+            d.server = server;
+            d.klass = job.klass;
+            d.freeInClass = freeBefore;
+            if (!blocked.empty()) {
+                // blocked[] fills in pop = (arrival, id) order, so
+                // its first entry is the earliest blocked head.
+                d.blockedHead = blocked.front().id;
+                d.blockedHeadKlass = blocked.front().klass;
+            }
+            d.pending = pendingSeen;
+            decisionHook_(d);
+        }
         admit(job.id, server);
     }
     for (const Pending &job : blocked) {

@@ -80,6 +80,39 @@ struct FleetSchedStats
 };
 
 /**
+ * One scheduler decision, with the inputs the scheduler saw when it
+ * made it. Emitted through FleetScheduler::setDecisionHook strictly
+ * in decision order on the fleet event loop (the scheduler is
+ * single-threaded), so any log built from these is deterministic at
+ * every `--threads` width. Class fields are dense class indices —
+ * resolve names with klassName().
+ */
+struct SchedDecision
+{
+    /** What was decided. */
+    enum class Kind : std::uint8_t
+    {
+        Admit,    //!< head-of-line FIFO admission
+        Backfill, //!< admission that jumped >= 1 blocked job
+        Preempt,  //!< eviction to make room for the acting job
+    };
+
+    Kind kind = Kind::Admit;
+    double time = 0.0; //!< scheduling instant (fleet seconds)
+    int job = -1;      //!< admitted job, or the preemptor
+    int priority = 0;  //!< the acting job's priority
+    int server = -1;   //!< server granted (admit) / vacated (preempt)
+    int klass = -1;    //!< dense class index the acting job wants
+    int freeInClass = 0;  //!< free machines in klass before the act
+    int blockedHead = -1; //!< earliest blocked job jumped, or -1
+    int blockedHeadKlass = -1; //!< its dense class index, or -1
+    int victim = -1;           //!< evicted job (Preempt), or -1
+    int victimPriority = 0;    //!< the victim's priority
+    double victimStart = 0.0;  //!< when the victim started running
+    std::uint64_t pending = 0; //!< jobs still waiting placement
+};
+
+/**
  * Gang scheduler over whole-server slots (see file header).
  * Single-threaded: driven only from the fleet event loop.
  */
@@ -87,6 +120,9 @@ class FleetScheduler
 {
   public:
     using Options = FleetSchedOptions;
+
+    /** Observer of every admit/backfill/preempt (see SchedDecision). */
+    using DecisionHook = std::function<void(const SchedDecision &)>;
 
     /** @param servers cluster inventory; must be non-empty with
      *  unique class names and positive counts (fatal otherwise). */
@@ -128,6 +164,29 @@ class FleetScheduler
 
     /** @return machines in class @p klass (0 when unknown). */
     int classCount(const std::string &klass) const;
+
+    /** @return number of server classes in the cluster. */
+    int klassCount() const
+    {
+        return static_cast<int>(klasses_.size());
+    }
+
+    /** @return name of dense class index @p klass (fatal when out
+     *  of range). */
+    const std::string &klassName(int klass) const;
+
+    /** @return free machines per dense class index, a snapshot of
+     *  the scheduler's gauges for counter sampling. */
+    std::vector<int> freeCounts() const;
+
+    /**
+     * Install @p hook, invoked synchronously for every admit,
+     * backfill, and preempt decision — before the corresponding
+     * admit/evict callback fires, so observers see the decision's
+     * inputs ahead of its effects. Pass an empty function to
+     * uninstall.
+     */
+    void setDecisionHook(DecisionHook hook);
 
     /** @return total machines in the cluster. */
     int serverCount() const
@@ -179,11 +238,17 @@ class FleetScheduler
     /** Pop the pending heap's minimum. */
     Pending popPending();
 
-    /** Try to place @p job now; returns the server or -1. */
-    int tryPlace(const Pending &job,
+    /**
+     * Try to place @p job at @p now; returns the server or -1.
+     * @p pending_seen is the queue depth to stamp on a preemption
+     * decision (heap + temporarily-held blocked jobs).
+     */
+    int tryPlace(double now, const Pending &job,
+                 std::uint64_t pending_seen,
                  const std::function<void(int victim)> &evict);
 
     Options opts_;
+    DecisionHook decisionHook_;
     std::vector<Klass> klasses_;
     std::map<std::string, int> klassIndex_;
     std::vector<int> serverKlass_; //!< global server -> class

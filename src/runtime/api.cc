@@ -128,6 +128,8 @@ runMobiusStepEx(const Server &server, const CostModel &cost,
     res.stats = exec.run();
     res.spanCount = ctx.trace().spanCount();
     res.spanHash = spanFingerprint(ctx.trace());
+    if (opts.traceOut)
+        ctx.trace().moveInto(*opts.traceOut);
     return res;
 }
 
@@ -154,6 +156,8 @@ runZeroStepEx(const Server &server, const CostModel &cost,
     res.stats = exec.run();
     res.spanCount = ctx.trace().spanCount();
     res.spanHash = spanFingerprint(ctx.trace());
+    if (opts.traceOut)
+        ctx.trace().moveInto(*opts.traceOut);
     return res;
 }
 

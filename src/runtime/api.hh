@@ -134,6 +134,14 @@ struct StepRunOptions
     /** Optional fault plan; null or empty = clean run. */
     const FaultPlan *faults = nullptr;
     std::uint64_t faultSeed = 1; //!< FaultInjector stream seed
+    /**
+     * Optional span-retention sink. When non-null, the run's trace
+     * is moved here wholesale (arenas and all, replacing previous
+     * contents) after the digest fields are computed — the cheap
+     * hook fleet attribution uses to keep step spans alive past the
+     * run without copying them. Null = the trace dies with the run.
+     */
+    TraceRecorder *traceOut = nullptr;
 };
 
 /** A step's measurements plus its trace digest. */

@@ -153,6 +153,13 @@ TraceRecorder::clear()
     nextId_ = 1;
 }
 
+void
+TraceRecorder::moveInto(TraceRecorder &dst)
+{
+    dst = std::move(*this);
+    *this = TraceRecorder();
+}
+
 std::vector<TraceSpan>
 TraceRecorder::onTrack(const std::string &track) const
 {

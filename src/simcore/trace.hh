@@ -194,6 +194,16 @@ class TraceRecorder
     /** Forget all recorded spans and counter samples. */
     void clear();
 
+    /**
+     * Move everything recorded so far into @p dst (replacing its
+     * contents, arenas and all — no per-span copying) and leave
+     * this recorder empty. This is the cheap span-retention hook:
+     * a caller that wants a run's trace to outlive its RunContext
+     * (e.g. the fleet retaining step spans for attribution) takes
+     * the arenas wholesale instead of materialising spans.
+     */
+    void moveInto(TraceRecorder &dst);
+
     /** Spans on one track, in start order. */
     std::vector<TraceSpan> onTrack(const std::string &track) const;
 

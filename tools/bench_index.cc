@@ -12,11 +12,16 @@
  * speedups, sensitivities — e.g. BENCH_simcore.json's events/sec,
  * queue speedup, fair-share skip fraction, and sims/sec per thread
  * width, or BENCH_fleet.json's plan-cache speedup + hit rate, fleet
- * jobs/sec, JCT quantiles, faulted goodput, and the determinism
- * fingerprint); nested arrays/objects hold the detail. This tool
- * collects
+ * jobs/sec, JCT quantiles, faulted goodput, the determinism
+ * fingerprints, and the fleet.trace.* recording-overhead gates);
+ * nested arrays/objects hold the detail. This tool collects
  * exactly those scalars, so the index stays small and diffable
  * run-to-run. The index file itself is excluded from the scan.
+ *
+ * The index carries a top-level "schema" member
+ * (`mobius-bench-index/1`) so downstream trend tooling can
+ * version-check before trusting the layout; the schema string only
+ * changes when the index's structure does.
  *
  * Options:
  *   --dir PATH   directory to scan (default ".")
@@ -114,7 +119,7 @@ main(int argc, char **argv)
         std::sort(files.begin(), files.end());
 
         std::ostringstream os;
-        os << "{\"benches\":{";
+        os << "{\"schema\":\"mobius-bench-index/1\",\"benches\":{";
         std::size_t indexed = 0;
         for (const fs::path &p : files) {
             json::JsonValue doc;
