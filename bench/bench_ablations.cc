@@ -31,8 +31,9 @@ runWith(const Server &server, const Workload &work,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Ablation 1: stage granularity (15B, mbs 4, 2+2)");
     {
         Server server = makeCommodityServer({2, 2});

@@ -137,6 +137,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out =
             args.get("out", "BENCH_attribution.json");
@@ -202,7 +203,7 @@ main(int argc, char **argv)
         std::printf("  cross queue wait < sequential:          %s\n",
                     cross_lt_seq ? "yes" : "NO");
 
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += strfmt(",\n  \"sum_tolerance_seconds\": %g",
                        kSumTolerance);

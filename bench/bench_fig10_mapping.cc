@@ -13,8 +13,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 10: cross vs sequential mapping, 8 GPUs");
     Server server = makeCommodityServer({4, 4});
 

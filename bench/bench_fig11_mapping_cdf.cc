@@ -13,8 +13,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 11: mapping bandwidth CDFs, 8 GPUs");
     Server server = makeCommodityServer({4, 4});
 

@@ -16,8 +16,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 12: planning overhead");
     Server server = makeCommodityServer({1, 3});
     std::printf("%-10s %14s %14s %16s %10s\n", "model",

@@ -23,8 +23,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 13: training loss, Mobius vs GPipe");
     MiniGptConfig mcfg;
     mcfg.vocab = 64;

@@ -15,8 +15,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 14: scalability on the commodity server");
     std::printf("%6s %12s %16s %18s\n", "GPUs", "step time",
                 "samples/s", "vs linear from 2");

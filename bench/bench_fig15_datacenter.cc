@@ -23,8 +23,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 15: data-center vs commodity server");
     Server dc = makeDataCenterServer(4);
     Server com = makeCommodityServer({2, 2});

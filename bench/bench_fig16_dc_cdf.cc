@@ -38,8 +38,9 @@ runDcJob(const GptConfig &cfg, JobSystem system, PlanCache &cache)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 16: GPU-CPU bandwidth CDF on DC server");
     PlanCache cache;
     for (const auto &cfg : {gpt8b(), gpt15b()}) {

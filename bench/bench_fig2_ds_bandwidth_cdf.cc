@@ -13,8 +13,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section(
         "Figure 2: DeepSpeed bandwidth CDF, 15B on 4x3090-Ti (2+2)");
     Server server = makeCommodityServer({2, 2});

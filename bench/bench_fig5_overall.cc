@@ -15,8 +15,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Table 3: model configurations");
     std::printf("%-10s %8s %8s %8s %12s\n", "model", "heads",
                 "hidden", "layers", "microbatch");

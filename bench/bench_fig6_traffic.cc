@@ -13,8 +13,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 6: communication traffic per step");
     Server server = makeCommodityServer({2, 2});
     std::printf("%-10s %14s %14s %14s %9s %9s\n", "model",

@@ -13,8 +13,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 7: bandwidth CDFs (quantiles)");
     for (const auto &cfg : {gpt8b(), gpt15b(), gpt51b()}) {
         std::printf("\n--- %s ---\n", cfg.name.c_str());

@@ -14,8 +14,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 8: non-overlapped communication share");
     std::printf("%-10s %-10s %12s %12s %12s\n", "model", "topo",
                 "DeepSpeed", "Mobius", "reduction");

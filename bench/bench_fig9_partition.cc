@@ -15,8 +15,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Figure 9: partition algorithm ablation");
     Server server = makeCommodityServer({2, 2});
 

@@ -93,20 +93,6 @@ constexpr double kTraceOverheadSlack = 0.02;
 /** Per-job attribution drift bound: |sum(categories) - jct|. */
 constexpr double kMaxAttribDrift = 1e-9;
 
-double
-cpuNow()
-{
-    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
-}
-
-double
-wallNow()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
 /** The homogeneous section-1/2 inventory: 4 commodity 2+2 boxes. */
 std::vector<FleetServerDesc>
 commodityFleet(int count)
@@ -131,10 +117,10 @@ FleetRun
 timedRun(FleetSim &sim)
 {
     FleetRun r;
-    double c0 = cpuNow(), w0 = wallNow();
+    double c0 = bench::cpuNow(), w0 = bench::wallNow();
     r.m = sim.run();
-    r.cpu = cpuNow() - c0;
-    r.wall = wallNow() - w0;
+    r.cpu = bench::cpuNow() - c0;
+    r.wall = bench::wallNow() - w0;
     return r;
 }
 
@@ -238,6 +224,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out = args.get("out", "BENCH_fleet.json");
         const int threads = bench::threadsArg(args);
@@ -498,7 +485,7 @@ main(int argc, char **argv)
             timeline_ident_ok && attrib_sum_ok;
 
         // --- JSON.
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += strfmt(",\n  \"jobs\": %d", jobs);
         json += strfmt(",\n  \"fleet_jobs_per_sec\": %.17g",

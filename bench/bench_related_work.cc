@@ -17,8 +17,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Related work: tensor parallelism vs Mobius "
                    "(4x 3090-Ti, Topo 2+2)");
     Server server = makeCommodityServer({2, 2});

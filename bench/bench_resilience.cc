@@ -309,6 +309,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out =
             args.get("out", "BENCH_resilience.json");
@@ -447,7 +448,7 @@ main(int argc, char **argv)
         std::printf("  recovery/checkpoint ordering: %s\n",
                     recovery_ok ? "ok" : "FAIL");
 
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += strfmt(",\n  \"goodput_margin_tolerance\": %g",
                        kGoodputMargin);

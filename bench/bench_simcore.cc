@@ -68,23 +68,19 @@ namespace
 /** Quick-tier gates (the acceptance bar for the rewrite). */
 constexpr double kMinSpeedup = 3.0;
 constexpr double kMinEventsPerSec = 200e3;
+/** Host-profiler gate: relative CPU overhead a fully profiled step
+ *  may add, plus an absolute slack so micro-noise on a sub-second
+ *  baseline cannot trip it (the timeline-tracing gate's shape). */
+constexpr double kMaxProfOverhead = 0.05;
+constexpr double kProfOverheadSlack = 0.02;
+/** |sum(zone self times) - total(root zones)| bound, wall seconds. */
+constexpr double kMaxProfSelfDrift = 1e-9;
 
 double
 wallSeconds(std::chrono::steady_clock::time_point t0,
             std::chrono::steady_clock::time_point t1)
 {
     return std::chrono::duration<double>(t1 - t0).count();
-}
-
-/**
- * Process CPU seconds. The single-threaded queue churn is timed on
- * CPU rather than wall clock so the speedup gate is insensitive to
- * whatever else a parallel `ctest -j` is running on the machine.
- */
-double
-cpuNow()
-{
-    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 
 /**
@@ -143,10 +139,12 @@ class Churn
     ChurnResult
     run()
     {
-        double t0 = cpuNow();
+        // CPU rather than wall clock so the speedup gate is
+        // insensitive to whatever else a parallel ctest is running.
+        double t0 = bench::cpuNow();
         scheduleSome(static_cast<int>(slot_.size()));
         q_.run();
-        double t1 = cpuNow();
+        double t1 = bench::cpuNow();
         ChurnResult r;
         r.executed = q_.executed();
         r.cancelled = cancelled_;
@@ -238,6 +236,26 @@ runFairShare(bool cross_check)
     return r;
 }
 
+/**
+ * One full Mobius GPT-8B 2+2 step (plan + execute) for the host
+ * self-profiler gate — it crosses every instrumented layer (solver,
+ * fair share, event drain, span arena).
+ * @return the span fingerprint, so the gate can assert profiling
+ *         perturbs nothing the simulation does.
+ */
+std::uint64_t
+profStep()
+{
+    Server server = makeCommodityServer({2, 2});
+    Workload work(gpt8b(), server);
+    MobiusPlan plan = planMobius(server, work.cost());
+    RunContext ctx(server, {});
+    MobiusExecutor exec(ctx, work.cost(), plan.partition,
+                        plan.mapping);
+    exec.run();
+    return spanFingerprint(ctx.trace());
+}
+
 /** Per-replica fingerprint compared across thread counts. */
 struct ReplicaOut
 {
@@ -305,6 +323,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out = args.get("out", "BENCH_simcore.json");
         args.rejectUnused();
@@ -412,11 +431,53 @@ main(int argc, char **argv)
                     determinism_ok ? "bit-identical"
                                    : "NONDETERMINISTIC");
 
+        // --- Section 4: host self-profiler overhead + identity.
+        bench::section("Simcore: host self-profiler overhead "
+                       "(GPT-8B step, min CPU of 2)");
+        const bool prof_was_on = prof::enabled();
+        prof::setEnabled(false);
+        std::uint64_t fp_off = 0, fp_on = 0;
+        double prof_cpu_off =
+            bench::minCpuOf(2, [&] { fp_off = profStep(); });
+        prof::reset();
+        prof::setEnabled(true);
+        double prof_cpu_on =
+            bench::minCpuOf(2, [&] { fp_on = profStep(); });
+        prof::setEnabled(false);
+        prof::Snapshot snap = prof::snapshot();
+        if (prof_was_on)
+            prof::setEnabled(true);
+
+        double prof_overhead =
+            prof_cpu_on / std::max(prof_cpu_off, 1e-9) - 1.0;
+        bool prof_overhead_ok = prof_cpu_on <=
+            prof_cpu_off * (1.0 + kMaxProfOverhead) +
+                kProfOverheadSlack;
+        bool prof_perturb_ok = fp_on == fp_off;
+        double prof_drift = snap.selfSumDrift();
+        bool prof_sum_ok =
+            !snap.zones.empty() && prof_drift <= kMaxProfSelfDrift;
+        bool prof_ok =
+            prof_overhead_ok && prof_perturb_ok && prof_sum_ok;
+
+        std::printf("\n%s", prof::table(snap).c_str());
+        std::printf("\n  profiler overhead %+.1f%% (cpu %.3fs -> "
+                    "%.3fs, <= %.0f%% + %.2fs): %s\n",
+                    100 * prof_overhead, prof_cpu_off, prof_cpu_on,
+                    100 * kMaxProfOverhead, kProfOverheadSlack,
+                    prof_overhead_ok ? "ok" : "FAIL");
+        std::printf("  span fingerprint unperturbed: %s\n",
+                    prof_perturb_ok ? "ok" : "FAIL");
+        std::printf("  self-times sum to root total (drift %.3g "
+                    "<= %g): %s\n",
+                    prof_drift, kMaxProfSelfDrift,
+                    prof_sum_ok ? "ok" : "FAIL");
+
         // --- Gates and JSON.
         bool speedup_ok = speedup >= kMinSpeedup;
         bool floor_ok = heap_eps >= kMinEventsPerSec;
         bool ok = speedup_ok && floor_ok && oracle_ok &&
-            crosscheck_ok && determinism_ok;
+            crosscheck_ok && determinism_ok && prof_ok;
 
         std::printf("\n  queue speedup >= %.1fx: %s\n", kMinSpeedup,
                     speedup_ok ? "ok" : "FAIL");
@@ -429,8 +490,10 @@ main(int argc, char **argv)
                     crosscheck_ok ? "ok" : "FAIL");
         std::printf("  replica determinism: %s\n",
                     determinism_ok ? "ok" : "FAIL");
+        std::printf("  profiler overhead/identity/self-sum: %s\n",
+                    prof_ok ? "ok" : "FAIL");
 
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += strfmt(",\n  \"queue_events_per_sec\": %.17g",
                        heap_eps);
@@ -469,6 +532,18 @@ main(int argc, char **argv)
                        sims_n / sims_1);
         json += ",\n  \"determinism_ok\": ";
         json += determinism_ok ? "true" : "false";
+        json += strfmt(",\n  \"prof_overhead_fraction\": %.17g",
+                       prof_overhead);
+        json += strfmt(",\n  \"prof_cpu_base_seconds\": %.17g",
+                       prof_cpu_off);
+        json += strfmt(",\n  \"prof_cpu_on_seconds\": %.17g",
+                       prof_cpu_on);
+        json += strfmt(",\n  \"prof_zone_count\": %zu",
+                       snap.zones.size());
+        json += strfmt(",\n  \"prof_self_sum_drift\": %.17g",
+                       prof_drift);
+        json += ",\n  \"prof_ok\": ";
+        json += prof_ok ? "true" : "false";
         json += ",\n  \"batches\": [";
         for (std::size_t i = 0; i < batches.size(); ++i) {
             const BatchResult &b = batches[i];

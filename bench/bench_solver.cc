@@ -33,6 +33,7 @@
 
 #include "base/args.hh"
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "hw/server.hh"
 #include "plan/partition_algos.hh"
 #include "plan/partition_mip.hh"
@@ -275,6 +276,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out_file =
             args.get("out", "BENCH_solver.json");
@@ -296,7 +298,7 @@ main(int argc, char **argv)
         };
 
         int failures = 0;
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += ",\n  \"instances\": [";
         bool first = true;

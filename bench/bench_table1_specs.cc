@@ -10,8 +10,9 @@
 using namespace mobius;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ProfScope prof(argc, argv);
     bench::section("Table 1: 3090-Ti vs A100");
     const GpuSpec &c = rtx3090Ti();
     const GpuSpec &d = a100();

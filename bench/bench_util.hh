@@ -9,16 +9,108 @@
 #define MOBIUS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/args.hh"
+#include "obs/prof.hh"
 #include "runtime/api.hh"
 #include "simcore/replica_runner.hh"
 
 namespace mobius::bench
 {
+
+/**
+ * Process CPU seconds (std::clock). The min-of-N gates below use it
+ * because process CPU time is immune to the machine being busy, so
+ * the quick smokes stay stable under a parallel ctest.
+ */
+inline double
+cpuNow()
+{
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/** Monotonic wall-clock seconds. */
+inline double
+wallNow()
+{
+    return prof::wallNow();
+}
+
+/**
+ * Minimum process-CPU seconds of @p body over @p repeats runs — the
+ * standard load-immune measurement for every overhead gate (timeline
+ * recording, host profiler): the min discards scheduling noise,
+ * which only ever inflates a run.
+ */
+template <typename Fn>
+inline double
+minCpuOf(int repeats, Fn &&body)
+{
+    double best = -1.0;
+    for (int r = 0; r < repeats; ++r) {
+        const double t0 = cpuNow();
+        body();
+        const double dt = cpuNow() - t0;
+        if (best < 0.0 || dt < best)
+            best = dt;
+    }
+    return best < 0.0 ? 0.0 : best;
+}
+
+/**
+ * The shared `--prof` flag: construct one at the top of main() and
+ * the host self-profiler is enabled for the whole run, with the
+ * self-time table printed on destruction (stdout, after the bench's
+ * own output). Works for Args-based harnesses and bare argv ones:
+ *
+ *   bench::ProfScope prof(args);          // Args harness
+ *   bench::ProfScope prof(argc, argv);    // bare main(argc, argv)
+ */
+class ProfScope
+{
+  public:
+    /** Enable profiling when @p args has `--prof`. */
+    explicit ProfScope(const Args &args)
+        : on_(args.has("prof"))
+    {
+        if (on_)
+            prof::setEnabled(true);
+    }
+
+    /** Enable profiling when argv contains `--prof`. */
+    ProfScope(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            on_ = on_ || std::strcmp(argv[i], "--prof") == 0;
+        if (on_)
+            prof::setEnabled(true);
+    }
+
+    /** Print the self-time table if profiling was enabled. */
+    ~ProfScope()
+    {
+        if (!on_)
+            return;
+        prof::setEnabled(false);
+        std::printf("\n--- host self-profile ---\n%s",
+                    prof::table(prof::snapshot()).c_str());
+    }
+
+    /** @return true when `--prof` was given. */
+    bool enabled() const { return on_; }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    bool on_ = false;
+};
 
 /**
  * The shared `--threads N` flag (0 = hardware concurrency),

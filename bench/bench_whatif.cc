@@ -180,6 +180,7 @@ main(int argc, char **argv)
 {
     try {
         Args args(argc, argv);
+        bench::ProfScope prof_scope(args);
         const bool quick = args.has("quick");
         const std::string out = args.get("out", "BENCH_whatif.json");
         const int threads = bench::threadsArg(args);
@@ -267,7 +268,7 @@ main(int argc, char **argv)
                     sens_zero, sens_mobius,
                     zero_steeper ? "ok" : "FAIL");
 
-        std::string json = "{\n  \"quick\": ";
+        std::string json = "{\n  \"schema\": \"mobius-bench/1\",\n  \"quick\": ";
         json += quick ? "true" : "false";
         json += strfmt(",\n  \"max_drift_tolerance\": %g",
                        kMaxDrift);

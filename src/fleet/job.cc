@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -112,6 +113,7 @@ simulateJobStep(const JobSpec &spec, PlanCache *cache,
     popts.mapping = spec.mapping;
     double solve_seconds = 0.0;
     auto solve = [&] {
+        MOBIUS_PROF_ZONE("fleet.plan_miss");
         auto t0 = clock::now();
         MobiusPlan plan = planMobius(server, work.cost(), popts);
         solve_seconds =

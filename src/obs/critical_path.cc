@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -80,6 +81,7 @@ exposedSeconds(std::vector<std::pair<double, double>> &iv,
 StepAttribution
 attributeStep(const TraceRecorder &trace)
 {
+    MOBIUS_PROF_ZONE("obs.critical_path");
     StepAttribution out;
     std::vector<TraceSpan> spans = trace.spans();
     if (spans.empty())

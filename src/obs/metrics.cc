@@ -343,4 +343,23 @@ exactQuantile(std::vector<double> values, double q)
     return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
 }
 
+void
+exportProfSnapshot(const prof::Snapshot &snap,
+                   MetricsRegistry &registry)
+{
+    for (const prof::ZoneStats &z : snap.zones) {
+        std::string key = "prof." + z.path;
+        std::replace(key.begin(), key.end(), ';', '.');
+        registry.counter(key + ".calls")
+            .add(static_cast<double>(z.count));
+        registry.gauge(key + ".wall_seconds").set(z.wallTotal);
+        registry.gauge(key + ".self_seconds").set(z.wallSelf);
+        registry.gauge(key + ".cpu_seconds").set(z.cpuTotal);
+    }
+    registry.gauge("prof.threads")
+        .set(static_cast<double>(snap.threads));
+    registry.gauge("prof.wall_total_seconds")
+        .set(snap.wallTotalRoots());
+}
+
 } // namespace mobius

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/prof.hh"
+
 namespace mobius
 {
 
@@ -262,6 +264,21 @@ class MetricsRegistry
  * determinism gates compare across thread widths.
  */
 double exactQuantile(std::vector<double> values, double q);
+
+/**
+ * Fold a host-profiler snapshot into @p registry so the `--metrics`
+ * JSON/CSV export carries the self-profile alongside the simulated
+ * metrics. Per zone path (';' replaced by '.'):
+ *
+ *  - counter `prof.<path>.calls`
+ *  - gauge   `prof.<path>.wall_seconds`  (inclusive)
+ *  - gauge   `prof.<path>.self_seconds`  (exclusive wall)
+ *  - gauge   `prof.<path>.cpu_seconds`   (inclusive thread CPU)
+ *
+ * plus `prof.threads` and `prof.wall_total_seconds` roll-ups.
+ */
+void exportProfSnapshot(const prof::Snapshot &snap,
+                        MetricsRegistry &registry);
 
 } // namespace mobius
 

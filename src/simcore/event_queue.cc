@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -169,6 +170,7 @@ EventQueue::popTop()
 void
 EventQueue::run()
 {
+    MOBIUS_PROF_ZONE("simcore.drain");
     while (!heap_.empty()) {
         now_ = heap_.front().when;
         auto fn = popTop();
@@ -180,6 +182,7 @@ EventQueue::run()
 void
 EventQueue::runUntil(SimTime until)
 {
+    MOBIUS_PROF_ZONE("simcore.drain");
     while (!heap_.empty() && heap_.front().when <= until) {
         now_ = heap_.front().when;
         auto fn = popTop();

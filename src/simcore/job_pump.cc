@@ -1,6 +1,7 @@
 #include "simcore/job_pump.hh"
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -42,6 +43,7 @@ JobPump::~JobPump()
 void
 JobPump::runBody(std::size_t i)
 {
+    MOBIUS_PROF_ZONE("simcore.pump_job");
     try {
         body_(i);
     } catch (...) {

@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -35,6 +36,7 @@ TraceRecorder::reserve(std::size_t spans, std::size_t name_bytes,
 SpanId
 TraceRecorder::record(TraceSpan span)
 {
+    MOBIUS_PROF_ZONE("simcore.span_record");
     // Large runs record hundreds of thousands of spans; grow the
     // record array and both arenas in coarse steps from the start
     // instead of doubling from 1.

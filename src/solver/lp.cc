@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -775,6 +776,9 @@ BoundedSimplex::setBounds(const std::vector<double> &lower,
 LpSolution
 BoundedSimplex::solveCold(const LpOptions &opts)
 {
+    // Per-solve, not per-pivot: a pivot is ~100ns and the zone pair
+    // ~0.5us; pivot counts are already in solver.lp.* metrics.
+    MOBIUS_PROF_ZONE("solver.lp_solve");
     const std::uint64_t before = impl_->pivots_;
     impl_->pivotsThisSolve_ = 0;
     LpSolution sol = impl_->coldInner(opts);
@@ -785,6 +789,7 @@ BoundedSimplex::solveCold(const LpOptions &opts)
 LpSolution
 BoundedSimplex::solveWarm(const LpOptions &opts)
 {
+    MOBIUS_PROF_ZONE("solver.lp_solve");
     const std::uint64_t before = impl_->pivots_;
     impl_->pivotsThisSolve_ = 0;
     LpSolution sol = impl_->warmInner(opts);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -106,6 +107,7 @@ solveMip(const MipProblem &problem, const MipOptions &options)
     stack.push_back(Node{problem.lp.lower, problem.lp.upper});
 
     while (!stack.empty()) {
+        MOBIUS_PROF_ZONE("solver.mip_node");
         if (best.nodesExplored >= options.maxNodes || out_of_time()) {
             exhausted = false;
             break;

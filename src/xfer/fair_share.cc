@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace mobius
 {
@@ -20,6 +21,7 @@ maxMinFairRates(const std::vector<FairShareFlow> &flows,
                 const std::vector<double> &pool_capacity,
                 FairShareStats *stats)
 {
+    MOBIUS_PROF_ZONE("xfer.fair_share");
     const std::size_t nf = flows.size();
     const std::size_t np = pool_capacity.size();
     std::vector<double> rate(nf, 0.0);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
 #include "xfer/fair_share.hh"
 
 namespace mobius
@@ -258,6 +259,7 @@ void
 TransferEngine::updateRates(const std::vector<int> &seed_pools,
                             FlowId seed_flow)
 {
+    MOBIUS_PROF_ZONE("xfer.update_rates");
     // Walk the connected component of moving flows reachable from
     // the seeds through shared pools. Epoch stamps make the walk
     // allocation-free; the result is sorted so the solver sees flows

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Host self-profiler tests (obs/prof.hh): exact nested self-time
+ * accounting under deterministic clocks, byte-identical merged
+ * output across JobPump thread widths, allocation-free zones when
+ * disabled (and in the enabled steady state), and the prof.* metrics
+ * export.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
+#include "simcore/job_pump.hh"
+
+// Global allocation counter for the allocation-free-zone tests.
+// Counting is the only side effect; allocation still goes through
+// malloc, so every other test in this binary is unaffected.
+// GCC flags free() on new-ed pointers without seeing that the
+// matching operator new below is malloc-backed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+static std::atomic<std::size_t> g_new_calls{0};
+
+void *
+operator new(std::size_t n)
+{
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace mobius;
+
+// Deterministic clocks: each read advances a thread-local counter by
+// an exactly-representable step, so zone durations are fixed deltas
+// that do not depend on thread start offsets or scheduling.
+thread_local double t_wall = 0.0;
+thread_local double t_cpu = 0.0;
+
+double
+fakeWall()
+{
+    t_wall += 1.0;
+    return t_wall;
+}
+
+double
+fakeCpu()
+{
+    t_cpu += 0.25;
+    return t_cpu;
+}
+
+/** Reset the profiler, install fake clocks, enable; undo on exit. */
+class ProfSandbox
+{
+  public:
+    ProfSandbox()
+    {
+        prof::reset();
+        prof::setClocksForTest(fakeWall, fakeCpu);
+        prof::setEnabled(true);
+    }
+
+    ~ProfSandbox()
+    {
+        prof::setEnabled(false);
+        prof::setClocksForTest(nullptr, nullptr);
+        prof::reset();
+    }
+};
+
+TEST(Prof, NestedSelfTimesSumExactly)
+{
+    ProfSandbox sandbox;
+    {
+        MOBIUS_PROF_ZONE("t.a");
+        {
+            MOBIUS_PROF_ZONE("t.b");
+        }
+        {
+            MOBIUS_PROF_ZONE("t.b");
+        }
+        {
+            MOBIUS_PROF_ZONE("t.c");
+        }
+    }
+    prof::setEnabled(false);
+    prof::Snapshot snap = prof::snapshot();
+
+    // Depth-first, siblings name-sorted: t.a, t.a;t.b, t.a;t.c.
+    ASSERT_EQ(snap.zones.size(), 3u);
+    const prof::ZoneStats &a = snap.zones[0];
+    const prof::ZoneStats &b = snap.zones[1];
+    const prof::ZoneStats &c = snap.zones[2];
+    EXPECT_EQ(a.path, "t.a");
+    EXPECT_EQ(b.path, "t.a;t.b");
+    EXPECT_EQ(c.path, "t.a;t.c");
+    EXPECT_EQ(a.depth, 0);
+    EXPECT_EQ(b.depth, 1);
+    EXPECT_EQ(c.depth, 1);
+    EXPECT_EQ(a.count, 1u);
+    EXPECT_EQ(b.count, 2u);
+    EXPECT_EQ(c.count, 1u);
+
+    // Wall reads advance by exactly 1.0: the three inner zones last
+    // 1.0 each (enter + leave read), t.a spans reads 1..8 = 7.0.
+    EXPECT_EQ(a.wallTotal, 7.0);
+    EXPECT_EQ(b.wallTotal, 2.0);
+    EXPECT_EQ(c.wallTotal, 1.0);
+    EXPECT_EQ(a.wallSelf, 7.0 - 3.0);
+    EXPECT_EQ(b.wallSelf, b.wallTotal); // leaves: self == total
+    EXPECT_EQ(c.wallSelf, c.wallTotal);
+    EXPECT_EQ(a.wallMax, 7.0);
+    EXPECT_EQ(b.wallMax, 1.0);
+
+    // CPU reads advance by exactly 0.25.
+    EXPECT_EQ(a.cpuTotal, 1.75);
+    EXPECT_EQ(b.cpuTotal, 0.5);
+    EXPECT_EQ(c.cpuTotal, 0.25);
+    EXPECT_EQ(a.cpuSelf, 1.0);
+
+    // The headline invariant: self times sum exactly to the root
+    // total (identical floating-point order, zero drift here).
+    EXPECT_EQ(snap.wallTotalRoots(), 7.0);
+    EXPECT_EQ(snap.wallSelfSum(), 7.0);
+    EXPECT_EQ(snap.selfSumDrift(), 0.0);
+    EXPECT_EQ(snap.threads, 1);
+}
+
+/**
+ * Run a profiled job batch through a JobPump at @p threads and
+ * @return the rendered table plus folded stacks.
+ */
+std::string
+pumpProfile(int threads)
+{
+    ProfSandbox sandbox;
+    constexpr std::size_t kJobs = 12;
+    {
+        JobPump pump(
+            kJobs,
+            [](std::size_t i) {
+                MOBIUS_PROF_ZONE("t.job");
+                if (i % 2) {
+                    MOBIUS_PROF_ZONE("t.odd");
+                } else {
+                    MOBIUS_PROF_ZONE("t.even");
+                }
+            },
+            threads);
+        for (std::size_t i = 0; i < kJobs; ++i)
+            pump.enqueue(i);
+        pump.drain();
+    } // joins the workers; no zone is open past this point
+    prof::setEnabled(false);
+    prof::Snapshot snap = prof::snapshot();
+    return prof::table(snap) + folded(snap);
+}
+
+TEST(Prof, MergedOutputByteIdenticalAcrossPumpWidths)
+{
+    // Same jobs, same deterministic per-thread clocks: the merged
+    // table and folded stacks must not depend on how the pump
+    // spreads jobs over workers. threads: 1 = inline on the consumer
+    // thread, 4 = fixed pool, 0 = hardware concurrency.
+    std::string one = pumpProfile(1);
+    EXPECT_EQ(one, pumpProfile(4));
+    EXPECT_EQ(one, pumpProfile(0));
+    // Sanity: the pump's own zone wraps the job bodies.
+    EXPECT_NE(one.find("simcore.pump_job"), std::string::npos);
+    EXPECT_NE(one.find("t.job"), std::string::npos);
+}
+
+TEST(Prof, DisabledZoneAllocatesNothing)
+{
+    prof::setEnabled(false);
+    auto zoneOnce = [] { MOBIUS_PROF_ZONE("t.disabled"); };
+    zoneOnce(); // first execution registers the static Site
+    std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i)
+        zoneOnce();
+    EXPECT_EQ(g_new_calls.load(std::memory_order_relaxed), before);
+}
+
+TEST(Prof, EnabledSteadyStateAllocatesNothing)
+{
+    ProfSandbox sandbox;
+    auto zoneOnce = [] {
+        MOBIUS_PROF_ZONE("t.steady");
+        MOBIUS_PROF_ZONE("t.steady.inner");
+    };
+    // First pass pays the one-time costs: site registration, thread
+    // registration, node creation, stack growth.
+    zoneOnce();
+    std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i)
+        zoneOnce();
+    EXPECT_EQ(g_new_calls.load(std::memory_order_relaxed), before);
+}
+
+TEST(Prof, MetricsExportCarriesZonesAndRollups)
+{
+    ProfSandbox sandbox;
+    {
+        MOBIUS_PROF_ZONE("t.export");
+        {
+            MOBIUS_PROF_ZONE("t.child");
+        }
+    }
+    prof::setEnabled(false);
+    prof::Snapshot snap = prof::snapshot();
+
+    MetricsRegistry registry;
+    exportProfSnapshot(snap, registry);
+    // Path separator ';' becomes '.' in metric names.
+    EXPECT_EQ(registry.counter("prof.t.export.calls").value(), 1.0);
+    EXPECT_EQ(registry.counter("prof.t.export.t.child.calls").value(),
+              1.0);
+    EXPECT_EQ(registry.gauge("prof.t.export.wall_seconds").value(),
+              3.0);
+    EXPECT_EQ(registry.gauge("prof.t.export.self_seconds").value(),
+              2.0);
+    EXPECT_EQ(registry.gauge("prof.threads").value(), 1.0);
+    EXPECT_EQ(registry.gauge("prof.wall_total_seconds").value(), 3.0);
+}
+
+} // namespace

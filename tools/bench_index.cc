@@ -23,9 +23,29 @@
  * version-check before trusting the layout; the schema string only
  * changes when the index's structure does.
  *
+ * Files that fail to parse are reported on stderr and skipped; the
+ * exit status stays 0 unless --strict is given.
+ *
+ * With --history the same aggregate is additionally appended as one
+ * line of BENCH_history.jsonl (schema `mobius-bench-history/1`),
+ * which is what tools/perf_gate trends and gates across runs: every
+ * entry carries the run label and the per-bench headline scalars —
+ * including the prof_* host-profile summary the benches emit.
+ *
  * Options:
  *   --dir PATH   directory to scan (default ".")
  *   --out FILE   index file to write (default DIR/BENCH_index.json)
+ *   --strict     exit non-zero when any BENCH_*.json in the
+ *                directory is malformed or lacks the "schema" member
+ *   --history FILE  append this run's aggregate as one JSONL entry
+ *                   (the perf_gate input)
+ *   --label NAME    run label recorded in the history entry
+ *                   (default "unlabeled") — use the PR / commit id
+ *   --history-scale KEY=FACTOR
+ *                multiply scalar KEY by FACTOR in the appended
+ *                history entry only (the index is untouched). A test
+ *                hook: the perf_gate ctest uses it to forge a
+ *                regressed run and prove the gate trips.
  */
 
 #include <algorithm>
@@ -57,9 +77,14 @@ readFile(const fs::path &path)
     return os.str();
 }
 
-/** @return the top-level scalar members of @p doc, re-serialised. */
+/**
+ * @return the top-level scalar members of @p doc, re-serialised.
+ * A scalar named @p scale_key is multiplied by @p scale_factor
+ * (the --history-scale test hook; pass "" to scale nothing).
+ */
 std::string
-headlines(const json::JsonValue &doc)
+headlines(const json::JsonValue &doc, const std::string &scale_key,
+          double scale_factor)
 {
     std::ostringstream os;
     os.precision(17);
@@ -70,7 +95,8 @@ headlines(const json::JsonValue &doc)
         if (value.isNumber()) {
             std::ostringstream n;
             n.precision(17);
-            n << value.number;
+            n << (key == scale_key ? value.number * scale_factor
+                                   : value.number);
             rendered = n.str();
         } else if (value.isString()) {
             rendered = "\"" + json::escape(value.string) + "\"";
@@ -98,6 +124,27 @@ main(int argc, char **argv)
         std::string out =
             args.get("out", (fs::path(dir) / "BENCH_index.json")
                                 .string());
+        bool strict = args.has("strict");
+        std::string history = args.get("history", "");
+        std::string label = args.get("label", "unlabeled");
+        std::string scale_arg = args.get("history-scale", "");
+        std::string scale_key;
+        double scale_factor = 1.0;
+        if (!scale_arg.empty()) {
+            std::size_t eq = scale_arg.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("--history-scale wants KEY=FACTOR, got '%s'",
+                      scale_arg.c_str());
+            scale_key = scale_arg.substr(0, eq);
+            try {
+                scale_factor = std::stod(scale_arg.substr(eq + 1));
+            } catch (const std::exception &) {
+                fatal("--history-scale factor '%s' is not a number",
+                      scale_arg.substr(eq + 1).c_str());
+            }
+            if (history.empty())
+                fatal("--history-scale requires --history");
+        }
         args.rejectUnused();
 
         if (!fs::is_directory(dir))
@@ -118,9 +165,12 @@ main(int argc, char **argv)
         }
         std::sort(files.begin(), files.end());
 
-        std::ostringstream os;
+        std::ostringstream os, hs;
         os << "{\"schema\":\"mobius-bench-index/1\",\"benches\":{";
+        hs << "{\"schema\":\"mobius-bench-history/1\",\"label\":\""
+           << json::escape(label) << "\",\"benches\":{";
         std::size_t indexed = 0;
+        std::size_t bad = 0;
         for (const fs::path &p : files) {
             json::JsonValue doc;
             try {
@@ -128,19 +178,33 @@ main(int argc, char **argv)
             } catch (const json::JsonError &e) {
                 warn("skipping '%s': %s", p.string().c_str(),
                      e.what());
+                ++bad;
                 continue;
             }
             if (!doc.isObject()) {
                 warn("skipping '%s': top level is not an object",
                      p.string().c_str());
+                ++bad;
                 continue;
             }
+            if (!doc.has("schema")) {
+                warn("'%s' has no \"schema\" member%s",
+                     p.string().c_str(),
+                     strict ? "" : " (indexed anyway)");
+                if (strict)
+                    ++bad;
+            }
+            std::string name = p.filename().string();
             os << (indexed ? "," : "") << "\""
-               << json::escape(p.filename().string())
-               << "\":" << headlines(doc);
+               << json::escape(name)
+               << "\":" << headlines(doc, "", 1.0);
+            hs << (indexed ? "," : "") << "\""
+               << json::escape(name)
+               << "\":" << headlines(doc, scale_key, scale_factor);
             ++indexed;
         }
         os << "},\"count\":" << indexed << "}";
+        hs << "},\"count\":" << indexed << "}";
 
         std::ofstream of(out);
         of << os.str() << "\n";
@@ -148,6 +212,23 @@ main(int argc, char **argv)
             fatal("cannot write '%s'", out.c_str());
         std::printf("indexed %zu bench report%s -> %s\n", indexed,
                     indexed == 1 ? "" : "s", out.c_str());
+        if (!history.empty()) {
+            std::ofstream hf(history, std::ios::app);
+            hf << hs.str() << "\n";
+            if (!hf)
+                fatal("cannot append to '%s'", history.c_str());
+            std::printf("appended run '%s' -> %s\n", label.c_str(),
+                        history.c_str());
+        }
+        if (bad > 0) {
+            std::fprintf(stderr,
+                         "bench_index: %zu report%s failed %s\n",
+                         bad, bad == 1 ? "" : "s",
+                         strict ? "(--strict: exiting non-zero)"
+                                : "to parse");
+            if (strict)
+                return 1;
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

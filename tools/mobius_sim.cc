@@ -78,6 +78,13 @@
  *                                  events (default 1); a fixed seed
  *                                  makes the faulted run bit-identical
  *                                  across repeats
+ *   --prof                         profile the simulator itself
+ *                                  (obs/prof.hh host zones) and print
+ *                                  the self-time table; prof.* gauges
+ *                                  are folded into --metrics output
+ *   --prof-folded FILE             write flamegraph-compatible folded
+ *                                  stacks of the host profile
+ *                                  (implies --prof)
  */
 
 #include <cstdio>
@@ -192,6 +199,7 @@ StepStats
 runStep(RunContext &ctx, const StepSetup &setup,
         std::unique_ptr<MobiusPlan> *plan_out)
 {
+    MOBIUS_PROF_ZONE("sim.step");
     const Workload &work = *setup.work;
     if (setup.system == "mobius") {
         const MobiusPlan *plan = setup.plan;
@@ -301,6 +309,8 @@ main(int argc, char **argv)
         bool gantt = args.has("gantt");
         bool explain = args.has("explain");
         bool explain_json = args.has("explain-json");
+        std::string prof_folded = args.get("prof-folded", "");
+        bool prof_on = args.has("prof") || !prof_folded.empty();
         int explain_top =
             args.getIntIn("explain-top", 10, 1, 1000000);
         int steps = args.getIntIn("steps", 0, 0, 1000000000);
@@ -392,6 +402,8 @@ main(int argc, char **argv)
             sampler->start();
         }
         std::unique_ptr<MobiusPlan> plan;
+        if (prof_on)
+            prof::setEnabled(true);
         StepStats stats = runStep(ctx, setup, &plan);
         std::string plan_json = plan ? planToJson(*plan) : "";
         // What-if re-runs execute the baseline plan on perturbed
@@ -425,6 +437,16 @@ main(int argc, char **argv)
         StepAttribution attrib;
         if (explain || explain_json)
             attrib = attributeStep(ctx.trace());
+        // Snapshot the host profile once everything that simulates
+        // or walks the trace has run, and fold it into the registry
+        // so the --metrics export carries prof.* alongside the
+        // simulated metrics.
+        prof::Snapshot prof_snap;
+        if (prof_on) {
+            prof::setEnabled(false);
+            prof_snap = prof::snapshot();
+            exportProfSnapshot(prof_snap, registry);
+        }
         if (json) {
             std::printf("{\"server\":\"%s\",\"model\":\"%s\","
                         "\"manifest\":%s,\"stats\":%s",
@@ -529,6 +551,19 @@ main(int argc, char **argv)
                 std::printf("metrics         : %s (+ %s)\n",
                             metrics_file.c_str(), csv_file.c_str());
         }
+        if (!prof_folded.empty()) {
+            std::ofstream os(prof_folded);
+            os << prof::folded(prof_snap);
+            if (!os)
+                fatal("cannot write folded-stack file '%s'",
+                      prof_folded.c_str());
+            if (!json)
+                std::printf("prof folded     : %s\n",
+                            prof_folded.c_str());
+        }
+        if (prof_on && !json && !explain_json)
+            std::printf("\n--- host self-profile ---\n%s",
+                        prof::table(prof_snap).c_str());
         if (gantt)
             std::printf("\n%s\n",
                         ctx.trace().toAsciiGantt(96).c_str());

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * perf_gate — compare the latest BENCH_history.jsonl run against the
+ * median of the earlier runs and exit non-zero on regression.
+ *
+ *     perf_gate --history BENCH_history.jsonl
+ *
+ * The history file is what `bench_index --history` appends: one JSONL
+ * entry per aggregated run (schema `mobius-bench-history/1`), each
+ * carrying the per-bench headline scalars. The latest entry is the
+ * candidate; every earlier entry is baseline. For each numeric metric
+ * the baseline median and MAD (median absolute deviation) give a
+ * noise-aware tolerance:
+ *
+ *     tol = max(rel_floor * |median|, mad_mult * 1.4826 * MAD,
+ *               abs_floor)
+ *
+ * so metrics with a noisy history earn a proportionally wider band,
+ * while a single-sample baseline (MAD 0) falls back to the relative
+ * floor. Whether "bigger is worse" comes from name tokens: throughput
+ * style names (per_sec, speedup, hit_rate, goodput, skip_fraction,
+ * utilization) must not drop; cost-style names (seconds, overhead,
+ * drift, jct, wait, pivots, nodes) must not rise. Metrics matching
+ * neither list are reported as `n/a` and never gate. Booleans gate
+ * hard: a metric that was true in every baseline run and is false in
+ * the candidate regresses (that is how the benches' *_ok verdicts are
+ * enforced across runs). Strings are informational only.
+ *
+ * With no baseline entries (a fresh history) the gate trivially
+ * passes — the first run seeds the baseline. Each regression is named
+ * on a `REGRESSED: <file>:<metric>` line and the exit status is 1.
+ *
+ * Options:
+ *   --history FILE   history to read (default BENCH_history.jsonl)
+ *   --rel-floor X    relative tolerance floor    (default 0.25)
+ *   --mad-mult X     MAD multiplier              (default 5.0)
+ *   --abs-floor X    absolute tolerance floor    (default 0.0)
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/args.hh"
+#include "base/json.hh"
+#include "base/logging.hh"
+
+using namespace mobius;
+
+namespace
+{
+
+enum class Direction { HigherBetter, LowerBetter, Unknown };
+
+Direction
+directionOf(const std::string &key)
+{
+    static const char *kHigher[] = {"per_sec",       "speedup",
+                                    "hit_rate",      "goodput",
+                                    "skip_fraction", "utilization"};
+    static const char *kLower[] = {"seconds", "overhead", "drift",
+                                   "jct",     "wait",     "pivots",
+                                   "nodes"};
+    for (const char *tok : kHigher)
+        if (key.find(tok) != std::string::npos)
+            return Direction::HigherBetter;
+    for (const char *tok : kLower)
+        if (key.find(tok) != std::string::npos)
+            return Direction::LowerBetter;
+    return Direction::Unknown;
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/** One scalar pulled out of a history entry's benches object. */
+struct Sample
+{
+    bool isBool = false;
+    bool boolean = false;
+    double number = 0.0;
+};
+
+using MetricMap = std::map<std::string, Sample>;
+
+/** @return "<bench file>:<key>" -> scalar for one history entry. */
+MetricMap
+metricsOf(const json::JsonValue &entry)
+{
+    MetricMap out;
+    const json::JsonValue *benches = entry.find("benches");
+    if (!benches || !benches->isObject())
+        return out;
+    for (const auto &[file, doc] : benches->members) {
+        if (!doc.isObject())
+            continue;
+        for (const auto &[key, value] : doc.members) {
+            if (key == "schema" || key == "quick")
+                continue; // run-mode markers, not performance
+            Sample s;
+            if (value.isNumber()) {
+                s.number = value.number;
+            } else if (value.isBool()) {
+                s.isBool = true;
+                s.boolean = value.boolean;
+            } else {
+                continue;
+            }
+            out[file + ":" + key] = s;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args(argc, argv);
+        std::string history =
+            args.get("history", "BENCH_history.jsonl");
+        double rel_floor = args.getDouble("rel-floor", 0.25);
+        double mad_mult = args.getDouble("mad-mult", 5.0);
+        double abs_floor = args.getDouble("abs-floor", 0.0);
+        args.rejectUnused();
+
+        std::ifstream is(history);
+        if (!is)
+            fatal("cannot open history '%s'", history.c_str());
+
+        std::vector<json::JsonValue> entries;
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(is, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            json::JsonValue doc;
+            try {
+                doc = json::parse(line);
+            } catch (const json::JsonError &e) {
+                warn("%s:%zu: skipping malformed entry: %s",
+                     history.c_str(), lineno, e.what());
+                continue;
+            }
+            if (!doc.isObject() ||
+                doc.stringOr("schema", "") !=
+                    "mobius-bench-history/1") {
+                warn("%s:%zu: skipping entry with unknown schema",
+                     history.c_str(), lineno);
+                continue;
+            }
+            entries.push_back(std::move(doc));
+        }
+        if (entries.empty())
+            fatal("'%s' has no usable history entries",
+                  history.c_str());
+
+        const json::JsonValue &cand = entries.back();
+        std::string cand_label = cand.stringOr("label", "unlabeled");
+        if (entries.size() == 1) {
+            std::printf("perf_gate: run '%s' seeds the baseline "
+                        "(no earlier entries in %s) -> pass\n",
+                        cand_label.c_str(), history.c_str());
+            return 0;
+        }
+
+        MetricMap cand_metrics = metricsOf(cand);
+        // metric -> baseline samples, in run order.
+        std::map<std::string, std::vector<Sample>> baseline;
+        for (std::size_t i = 0; i + 1 < entries.size(); ++i)
+            for (const auto &[name, s] : metricsOf(entries[i]))
+                baseline[name].push_back(s);
+
+        std::printf("perf_gate: '%s' vs %zu baseline run(s) from "
+                    "%s\n",
+                    cand_label.c_str(), entries.size() - 1,
+                    history.c_str());
+        std::printf("%-58s %14s %14s %12s %5s %s\n", "metric",
+                    "baseline", "candidate", "tolerance", "dir",
+                    "verdict");
+
+        std::vector<std::string> regressed;
+        std::size_t gated = 0;
+        for (const auto &[name, s] : cand_metrics) {
+            auto it = baseline.find(name);
+            if (it == baseline.end()) {
+                std::printf("%-58s %14s %14s %12s %5s new\n",
+                            name.c_str(), "-",
+                            s.isBool ? (s.boolean ? "true" : "false")
+                                     : strfmt("%.6g", s.number)
+                                           .c_str(),
+                            "-", "-");
+                continue;
+            }
+            if (s.isBool) {
+                bool all_true = true;
+                for (const Sample &b : it->second)
+                    all_true = all_true && b.isBool && b.boolean;
+                const char *verdict = "ok";
+                if (all_true && !s.boolean) {
+                    verdict = "REGRESSED";
+                    regressed.push_back(name);
+                }
+                ++gated;
+                std::printf("%-58s %14s %14s %12s %5s %s\n",
+                            name.c_str(),
+                            all_true ? "true" : "mixed",
+                            s.boolean ? "true" : "false", "-",
+                            "bool", verdict);
+                continue;
+            }
+            std::vector<double> base;
+            for (const Sample &b : it->second)
+                if (!b.isBool)
+                    base.push_back(b.number);
+            if (base.empty())
+                continue;
+            const double med = median(base);
+            std::vector<double> dev;
+            for (double b : base)
+                dev.push_back(std::abs(b - med));
+            const double mad = median(dev);
+            const double tol =
+                std::max({rel_floor * std::abs(med),
+                          mad_mult * 1.4826 * mad, abs_floor});
+            Direction dir = directionOf(name);
+            const char *dir_s = dir == Direction::HigherBetter ? "up"
+                                : dir == Direction::LowerBetter
+                                    ? "down"
+                                    : "n/a";
+            const char *verdict = "ok";
+            if (dir == Direction::Unknown) {
+                verdict = "n/a";
+            } else {
+                ++gated;
+                bool bad =
+                    dir == Direction::HigherBetter
+                        ? s.number < med - tol
+                        : s.number > med + tol;
+                bool improved =
+                    dir == Direction::HigherBetter
+                        ? s.number > med + tol
+                        : s.number < med - tol;
+                if (bad) {
+                    verdict = "REGRESSED";
+                    regressed.push_back(name);
+                } else if (improved) {
+                    verdict = "improved";
+                }
+            }
+            std::printf("%-58s %14.6g %14.6g %12.4g %5s %s\n",
+                        name.c_str(), med, s.number, tol, dir_s,
+                        verdict);
+        }
+
+        if (!regressed.empty()) {
+            for (const std::string &name : regressed)
+                std::printf("REGRESSED: %s\n", name.c_str());
+            std::printf("perf_gate: FAIL (%zu of %zu gated metrics "
+                        "regressed)\n",
+                        regressed.size(), gated);
+            return 1;
+        }
+        std::printf("perf_gate: PASS (%zu gated metrics within "
+                    "tolerance)\n",
+                    gated);
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
