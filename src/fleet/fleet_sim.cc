@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "simcore/arrival.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/job_pump.hh"
 #include "simcore/trace.hh"
@@ -98,14 +99,14 @@ FleetSim::submitPoisson(const JobSpec &prototype, int count,
     if (jobs_per_second <= 0.0)
         fatal("Poisson arrival rate must be positive (got %g)",
               jobs_per_second);
-    Rng rng(seed);
-    double t = prototype.arrival;
+    // Shared seeded generator (simcore/arrival.hh): same recurrence,
+    // same RNG stream — fingerprints are unchanged by the extraction.
+    std::vector<double> times = poissonArrivalTimes(
+        count, jobs_per_second, seed, prototype.arrival);
     int first = -1;
     for (int i = 0; i < count; ++i) {
-        // Exponential inter-arrival gap: -ln(1 - U) / rate.
-        t += -std::log1p(-rng.uniform()) / jobs_per_second;
         JobSpec spec = prototype;
-        spec.arrival = t;
+        spec.arrival = times[static_cast<std::size_t>(i)];
         spec.name.clear(); // re-derive from the assigned id
         int id = submit(std::move(spec));
         if (first < 0)

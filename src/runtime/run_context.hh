@@ -13,6 +13,7 @@
 #ifndef MOBIUS_RUNTIME_RUN_CONTEXT_HH
 #define MOBIUS_RUNTIME_RUN_CONTEXT_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,19 @@ class RunContext
     }
 
     /**
+     * Register an additional "still busy" predicate consulted by
+     * workloadIdle(). Request-driven workloads (the serving
+     * simulator) have engine-idle gaps between arrivals that are not
+     * the end of the run; without this hook the fault injector would
+     * disarm itself at the first such gap.
+     */
+    void
+    setExtraBusy(std::function<bool()> fn)
+    {
+        extraBusy_ = std::move(fn);
+    }
+
+    /**
      * @return true when every engine has drained: the fault
      * injector's signal that the step is over and its remaining
      * timed events should be cancelled rather than run.
@@ -126,6 +140,8 @@ class RunContext
     bool
     workloadIdle() const
     {
+        if (extraBusy_ && extraBusy_())
+            return false;
         if (!xfer_.idle() || !cpuOptimizer_.idle())
             return false;
         for (const auto &ce : compute_)
@@ -240,6 +256,7 @@ class RunContext
     std::vector<std::unique_ptr<ComputeEngine>> compute_;
     std::vector<std::unique_ptr<GpuMemory>> memory_;
     std::unique_ptr<FaultInjector> faults_;
+    std::function<bool()> extraBusy_;
 };
 
 } // namespace mobius

@@ -1,0 +1,62 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "obs/prof.hh"
+
+namespace mobius
+{
+
+ContinuousBatcher::ContinuousBatcher(BatchConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.maxBatch <= 0)
+        fatal("batch capacity must be positive (got %d)",
+              cfg_.maxBatch);
+    if (cfg_.minBatch <= 0 || cfg_.minBatch > cfg_.maxBatch)
+        fatal("adaptive batch floor must be in [1, %d] (got %d)",
+              cfg_.maxBatch, cfg_.minBatch);
+    cap_ = cfg_.adaptive ? cfg_.minBatch : cfg_.maxBatch;
+    stats_.maxCapacity = cap_;
+}
+
+void
+ContinuousBatcher::enqueue(int id)
+{
+    pending_.push_back(id);
+}
+
+std::vector<int>
+ContinuousBatcher::admit(
+    int running, const std::function<bool(int)> &try_reserve)
+{
+    MOBIUS_PROF_ZONE("serve.batcher.admit");
+    std::vector<int> admitted;
+    while (!pending_.empty() &&
+           running + static_cast<int>(admitted.size()) < cap_) {
+        const int id = pending_.front();
+        if (try_reserve && !try_reserve(id))
+            break; // head-of-line blocking: FIFO, never skip
+        pending_.pop_front();
+        admitted.push_back(id);
+        ++stats_.admissions;
+    }
+    return admitted;
+}
+
+void
+ContinuousBatcher::onIterationEnd()
+{
+    if (!cfg_.adaptive)
+        return;
+    if (!pending_.empty() && cap_ < cfg_.maxBatch) {
+        cap_ = std::min(cfg_.maxBatch, cap_ * 2);
+        ++stats_.capRaises;
+        stats_.maxCapacity = std::max(stats_.maxCapacity, cap_);
+    } else if (pending_.empty() && cap_ > cfg_.minBatch) {
+        cap_ = std::max(cfg_.minBatch, cap_ / 2);
+        ++stats_.capDrops;
+    }
+}
+
+} // namespace mobius

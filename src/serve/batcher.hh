@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Orca-style continuous batching at iteration granularity.
+ *
+ * Requests join the running batch only at iteration boundaries and
+ * leave individually the moment their generation completes; the batch
+ * composition therefore changes continuously instead of draining in
+ * static waves. Admission is strictly FIFO with head-of-line
+ * blocking: the batcher admits from the queue head while (a) the
+ * running set is below the current capacity and (b) the caller can
+ * reserve the head request's KV-cache; it never skips past a request
+ * that does not fit, so no request can starve behind later arrivals.
+ *
+ * Capacity is either a fixed cap or load-adaptive: under backlog the
+ * cap doubles toward `maxBatch` (throughput mode), and when the queue
+ * empties it halves toward `minBatch` (latency mode — smaller batches
+ * mean fewer riders per iteration). The serving bench gates that
+ * occupancy never exceeds the cap that was in force at admission.
+ */
+
+#ifndef MOBIUS_SERVE_BATCHER_HH
+#define MOBIUS_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace mobius
+{
+
+/** Continuous-batching knobs. */
+struct BatchConfig
+{
+    int maxBatch = 32;     //!< hard cap on concurrent requests
+    bool adaptive = false; //!< load-adaptive capacity when true
+    int minBatch = 4;      //!< adaptive floor (latency mode)
+};
+
+/** FIFO admission queue + capacity controller. */
+class ContinuousBatcher
+{
+  public:
+    explicit ContinuousBatcher(BatchConfig cfg);
+
+    /** Queue request @p id (arrival order = admission order). */
+    void enqueue(int id);
+
+    /** @return queued (not yet admitted) request count. */
+    int
+    pendingDepth() const
+    {
+        return static_cast<int>(pending_.size());
+    }
+
+    /** @return the capacity currently in force. */
+    int capacity() const { return cap_; }
+
+    /**
+     * Admit from the queue head while the batch has room and
+     * @p try_reserve (the KV-cache reservation) succeeds; stops at
+     * the first request that cannot be seated (FIFO, no skipping).
+     * @param running current running-batch size
+     * @return admitted request ids, in queue order
+     */
+    std::vector<int>
+    admit(int running, const std::function<bool(int)> &try_reserve);
+
+    /**
+     * Iteration-boundary hook for the adaptive controller:
+     * backlog grows the cap, an empty queue shrinks it.
+     */
+    void onIterationEnd();
+
+    /** Lifetime counters. */
+    struct Stats
+    {
+        std::uint64_t admissions = 0; //!< requests admitted
+        std::uint64_t capRaises = 0;  //!< adaptive cap doublings
+        std::uint64_t capDrops = 0;   //!< adaptive cap halvings
+        int maxCapacity = 0;          //!< largest cap in force
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    BatchConfig cfg_;
+    std::deque<int> pending_;
+    int cap_;
+    Stats stats_;
+};
+
+} // namespace mobius
+
+#endif // MOBIUS_SERVE_BATCHER_HH

@@ -1,0 +1,75 @@
+#include "simcore/arrival.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mobius
+{
+
+ArrivalProcess::ArrivalProcess(std::vector<ArrivalPhase> phases,
+                               std::uint64_t seed, double start)
+    : phases_(std::move(phases)), rng_(seed), t_(start)
+{
+    if (phases_.empty())
+        fatal("ArrivalProcess needs at least one phase");
+    for (const ArrivalPhase &p : phases_) {
+        if (p.rate <= 0.0)
+            fatal("arrival rate must be positive (got %g)", p.rate);
+        if (phases_.size() > 1 && p.duration <= 0.0)
+            fatal("arrival phase duration must be positive (got %g)",
+                  p.duration);
+    }
+    phaseLeft_ = phases_[0].duration;
+}
+
+double
+ArrivalProcess::next()
+{
+    // One Exp(1) unit of "arrival mass"; at rate r it is spent at
+    // r units per second, so a whole phase of length d absorbs r*d.
+    double e = -std::log1p(-rng_.uniform());
+    for (;;) {
+        const ArrivalPhase &p = phases_[phase_];
+        if (phases_.size() == 1) {
+            // Homogeneous: keep the historic single-expression form
+            // so the result is bit-identical to the fleet recurrence.
+            t_ += e / p.rate;
+            return t_;
+        }
+        const double need = e / p.rate;
+        if (need <= phaseLeft_) {
+            t_ += need;
+            phaseLeft_ -= need;
+            return t_;
+        }
+        e -= phaseLeft_ * p.rate;
+        t_ += phaseLeft_;
+        phase_ = (phase_ + 1) % phases_.size();
+        phaseLeft_ = phases_[phase_].duration;
+    }
+}
+
+std::vector<double>
+ArrivalProcess::take(int count)
+{
+    std::vector<double> out;
+    if (count <= 0)
+        return out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+std::vector<double>
+poissonArrivalTimes(int count, double rate, std::uint64_t seed,
+                    double start)
+{
+    if (rate <= 0.0)
+        fatal("Poisson arrival rate must be positive (got %g)", rate);
+    ArrivalProcess proc({{rate, 1.0}}, seed, start);
+    return proc.take(count);
+}
+
+} // namespace mobius

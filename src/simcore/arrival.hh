@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Seeded open-loop arrival processes shared by the fleet simulator
+ * (job submissions) and the serving simulator (inference requests).
+ *
+ * The single-rate helper reproduces, arrival for arrival, the
+ * exponential-gap recurrence FleetSim has always used — extracting it
+ * here must not move a single bit of any fleet fingerprint. The
+ * phased process generalises it to piecewise-constant rates (burst
+ * phases): it integrates one unit-exponential variate across phase
+ * boundaries, which is exact for an inhomogeneous Poisson process
+ * with piecewise-constant intensity (memorylessness lets the residual
+ * mass carry over at each boundary).
+ *
+ * Both draw exactly one uniform per arrival from a base/rng.hh
+ * xoshiro stream seeded by the caller, so a fixed seed yields a
+ * byte-identical arrival stream on any machine, at any thread width.
+ */
+
+#ifndef MOBIUS_SIMCORE_ARRIVAL_HH
+#define MOBIUS_SIMCORE_ARRIVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace mobius
+{
+
+/** One constant-rate segment of a phased arrival process. */
+struct ArrivalPhase
+{
+    double rate = 1.0;     //!< arrivals per simulated second (> 0)
+    double duration = 1.0; //!< phase length in seconds (> 0)
+};
+
+/**
+ * Open-loop Poisson arrival generator with piecewise-constant rate.
+ * The phase list cycles: after the last phase the process re-enters
+ * the first, so a {base, burst} pair yields periodic load spikes.
+ * A single phase is a homogeneous Poisson process; its duration is
+ * ignored and next() matches poissonArrivalTimes() bit for bit.
+ */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param phases non-empty; every rate must be positive and, when
+     *               more than one phase is given, every duration too
+     *               (fatal() otherwise)
+     * @param seed   RNG seed (one uniform consumed per arrival)
+     * @param start  time the process starts (first phase begins here)
+     */
+    ArrivalProcess(std::vector<ArrivalPhase> phases,
+                   std::uint64_t seed, double start = 0.0);
+
+    /** Generate the next arrival time (strictly after the last). */
+    double next();
+
+    /** Generate the next @p count arrival times, in order. */
+    std::vector<double> take(int count);
+
+  private:
+    std::vector<ArrivalPhase> phases_;
+    Rng rng_;
+    double t_;
+    std::size_t phase_ = 0;
+    double phaseLeft_ = 0.0;
+};
+
+/**
+ * The @p count arrival times of a homogeneous Poisson process of
+ * @p rate arrivals/second starting at @p start — the exact recurrence
+ * `t += -log1p(-uniform()) / rate` the fleet simulator's
+ * submitPoisson() has always produced for a given @p seed.
+ */
+std::vector<double> poissonArrivalTimes(int count, double rate,
+                                        std::uint64_t seed,
+                                        double start = 0.0);
+
+} // namespace mobius
+
+#endif // MOBIUS_SIMCORE_ARRIVAL_HH

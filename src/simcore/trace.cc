@@ -36,6 +36,8 @@ TraceRecorder::reserve(std::size_t spans, std::size_t name_bytes,
 SpanId
 TraceRecorder::record(TraceSpan span)
 {
+    if (!enabled_)
+        return kNoSpan;
     MOBIUS_PROF_ZONE("simcore.span_record");
     // Large runs record hundreds of thousands of spans; grow the
     // record array and both arenas in coarse steps from the start
@@ -79,6 +81,8 @@ TraceRecorder::record(TraceSpan span)
 void
 TraceRecorder::recordCounter(TraceCounter counter)
 {
+    if (!enabled_)
+        return;
     if (counters_.size() == counters_.capacity())
         counters_.reserve(counters_.empty() ? 1024
                                             : counters_.size() * 2);

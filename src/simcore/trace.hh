@@ -138,10 +138,23 @@ class TraceRecorder
   public:
     /**
      * Record a completed span; interns its track/category strings.
-     * kNoSpan entries in @p span.deps are dropped.
+     * kNoSpan entries in @p span.deps are dropped. When the recorder
+     * is disabled (setEnabled(false)) the span is discarded and
+     * kNoSpan returned.
      * @return the span's id (assigned when @p span.id is kNoSpan).
      */
     SpanId record(TraceSpan span);
+
+    /**
+     * Turn recording on (the default) or off. Long request-driven
+     * runs (the serving simulator) disable recording so span storage
+     * does not grow with simulated traffic; producers need no code
+     * change because record() degrades to returning kNoSpan.
+     */
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** @return true when record() stores spans. */
+    bool enabled() const { return enabled_; }
 
     /** Record one counter sample. */
     void recordCounter(TraceCounter counter);
@@ -276,6 +289,7 @@ class TraceRecorder
     std::vector<std::string> strings_;
     std::map<std::string, std::uint32_t> internIndex_;
     SpanId nextId_ = 1;
+    bool enabled_ = true;
 };
 
 /**

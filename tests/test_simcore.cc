@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/logging.hh"
+#include "simcore/arrival.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/event_queue_reference.hh"
 
@@ -248,6 +250,40 @@ TEST(EventQueue, FuzzMatchesReferenceQueue)
         EXPECT_EQ(heap, ref) << "diverged at seed " << seed;
         EXPECT_GT(heap.executed, 0u);
     }
+}
+
+TEST(ArrivalProcess, HelperIsDeterministicAndIncreasing)
+{
+    const std::vector<double> a = poissonArrivalTimes(256, 2.0, 9);
+    const std::vector<double> b = poissonArrivalTimes(256, 2.0, 9);
+    EXPECT_EQ(a, b);
+    double last = 0.0;
+    double sum = 0.0;
+    for (double t : a) {
+        EXPECT_GT(t, last);
+        sum += t - last;
+        last = t;
+    }
+    // Mean inter-arrival gap within 3 sigma of 1/rate.
+    EXPECT_NEAR(sum / 256.0, 0.5, 3.0 * 0.5 / 16.0);
+}
+
+TEST(ArrivalProcess, SeedAndPhaseChangesMatter)
+{
+    const std::vector<double> a = poissonArrivalTimes(32, 2.0, 9);
+    const std::vector<double> b = poissonArrivalTimes(32, 2.0, 10);
+    EXPECT_NE(a, b);
+    ArrivalProcess phased({{2.0, 0.5}, {8.0, 0.5}}, 9, 0.0);
+    EXPECT_NE(a, phased.take(32));
+}
+
+TEST(ArrivalProcess, RejectsBadPhases)
+{
+    EXPECT_THROW(ArrivalProcess({}, 1), FatalError);
+    EXPECT_THROW(ArrivalProcess({{0.0, 1.0}}, 1), FatalError);
+    EXPECT_THROW(ArrivalProcess({{1.0, -1.0}, {2.0, 1.0}}, 1),
+                 FatalError);
+    EXPECT_THROW(poissonArrivalTimes(4, -2.0, 1), FatalError);
 }
 
 } // namespace

@@ -88,6 +88,27 @@ TEST(TraceRecorder, TrackAndNameQueries)
     EXPECT_DOUBLE_EQ(f11[0].duration(), 1.0);
 }
 
+TEST(TraceRecorder, SetEnabledDropsRecording)
+{
+    TraceRecorder rec;
+    EXPECT_TRUE(rec.enabled());
+    rec.setEnabled(false);
+    EXPECT_EQ(rec.record(mkSpan("gpu0.compute", "F0,0", "compute",
+                                0.0, 1.0)),
+              kNoSpan);
+    TraceCounter c;
+    c.name = "mem";
+    c.time = 0.5;
+    c.value = 1.0;
+    rec.recordCounter(c);
+    EXPECT_EQ(rec.spanCount(), 0u);
+    rec.setEnabled(true);
+    EXPECT_NE(rec.record(mkSpan("gpu0.compute", "F1,0", "compute",
+                                1.0, 2.0)),
+              kNoSpan);
+    EXPECT_EQ(rec.spanCount(), 1u);
+}
+
 TEST(TraceRecorder, ChromeJsonWellFormed)
 {
     TraceRecorder rec;

@@ -43,7 +43,8 @@
  *                   (default "unlabeled") — use the PR / commit id
  *   --history-scale KEY=FACTOR
  *                multiply scalar KEY by FACTOR in the appended
- *                history entry only (the index is untouched). A test
+ *                history entry only (the index is untouched). May be
+ *                repeated to forge several metrics at once. A test
  *                hook: the perf_gate ctest uses it to forge a
  *                regressed run and prove the gate trips.
  */
@@ -52,6 +53,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -79,12 +81,12 @@ readFile(const fs::path &path)
 
 /**
  * @return the top-level scalar members of @p doc, re-serialised.
- * A scalar named @p scale_key is multiplied by @p scale_factor
- * (the --history-scale test hook; pass "" to scale nothing).
+ * A scalar whose name appears in @p scales is multiplied by its
+ * factor (the --history-scale test hook; pass {} to scale nothing).
  */
 std::string
-headlines(const json::JsonValue &doc, const std::string &scale_key,
-          double scale_factor)
+headlines(const json::JsonValue &doc,
+          const std::map<std::string, double> &scales)
 {
     std::ostringstream os;
     os.precision(17);
@@ -95,8 +97,9 @@ headlines(const json::JsonValue &doc, const std::string &scale_key,
         if (value.isNumber()) {
             std::ostringstream n;
             n.precision(17);
-            n << (key == scale_key ? value.number * scale_factor
-                                   : value.number);
+            const auto it = scales.find(key);
+            n << (it != scales.end() ? value.number * it->second
+                                     : value.number);
             rendered = n.str();
         } else if (value.isString()) {
             rendered = "\"" + json::escape(value.string) + "\"";
@@ -127,17 +130,16 @@ main(int argc, char **argv)
         bool strict = args.has("strict");
         std::string history = args.get("history", "");
         std::string label = args.get("label", "unlabeled");
-        std::string scale_arg = args.get("history-scale", "");
-        std::string scale_key;
-        double scale_factor = 1.0;
-        if (!scale_arg.empty()) {
+        std::map<std::string, double> scales;
+        for (const std::string &scale_arg :
+             args.getStrings("history-scale")) {
             std::size_t eq = scale_arg.find('=');
             if (eq == std::string::npos || eq == 0)
                 fatal("--history-scale wants KEY=FACTOR, got '%s'",
                       scale_arg.c_str());
-            scale_key = scale_arg.substr(0, eq);
             try {
-                scale_factor = std::stod(scale_arg.substr(eq + 1));
+                scales[scale_arg.substr(0, eq)] =
+                    std::stod(scale_arg.substr(eq + 1));
             } catch (const std::exception &) {
                 fatal("--history-scale factor '%s' is not a number",
                       scale_arg.substr(eq + 1).c_str());
@@ -197,10 +199,10 @@ main(int argc, char **argv)
             std::string name = p.filename().string();
             os << (indexed ? "," : "") << "\""
                << json::escape(name)
-               << "\":" << headlines(doc, "", 1.0);
+               << "\":" << headlines(doc, {});
             hs << (indexed ? "," : "") << "\""
                << json::escape(name)
-               << "\":" << headlines(doc, scale_key, scale_factor);
+               << "\":" << headlines(doc, scales);
             ++indexed;
         }
         os << "},\"count\":" << indexed << "}";
